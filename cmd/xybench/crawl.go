@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"xymon/internal/crawler"
+	"xymon/internal/warehouse"
+	"xymon/internal/webgen"
+)
+
+// runCrawl ablates the acquisition strategy (Section 2.1 and [19]): with
+// adaptive change-rate-based refresh the crawler spends its fetches where
+// pages actually change. Two site populations — one changing every 6
+// virtual hours, one every 50 days — are crawled for 60 virtual days with
+// a fixed-period and an adaptive crawler; useful-fetch ratio (fetches that
+// observed a change) is the efficiency measure.
+func runCrawl() {
+	run := func(adaptive bool) (st crawler.Stats) {
+		now := time.Date(2001, 5, 21, 0, 0, 0, 0, time.UTC)
+		clock := func() time.Time { return now }
+		store := warehouse.NewStore(warehouse.WithClock(clock))
+		c := crawler.New(store, nil, clock)
+		c.DefaultPeriod = 2 * 24 * time.Hour
+		c.Adaptive = adaptive
+		c.ChangeEvery = 6 * time.Hour
+		c.AddSite(webgen.NewSite(webgen.SiteSpec{BaseURL: "http://fast.example", Pages: scale(200), Seed: 1}))
+		c.ChangeEvery = 50 * 24 * time.Hour
+		c.AddSite(webgen.NewSite(webgen.SiteSpec{BaseURL: "http://slow.example", Pages: scale(200), Seed: 2}))
+		for day := 0; day < 60; day++ {
+			for h := 0; h < 24; h += 6 {
+				c.Step()
+				now = now.Add(6 * time.Hour)
+			}
+		}
+		return c.Stats()
+	}
+	header("strategy", "fetches", "updated", "useful %")
+	for _, mode := range []struct {
+		name     string
+		adaptive bool
+	}{
+		{"fixed", false},
+		{"adaptive", true},
+	} {
+		st := run(mode.adaptive)
+		useful := 0.0
+		if st.Fetches > 0 {
+			useful = 100 * float64(st.Updated) / float64(st.Fetches)
+		}
+		row(mode.name, fmt.Sprintf("%d", st.Fetches), fmt.Sprintf("%d", st.Updated),
+			fmt.Sprintf("%.0f", useful))
+	}
+	fmt.Println("\n(adaptive refresh concentrates fetches on changing pages: higher useful ratio)")
+}

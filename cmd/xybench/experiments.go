@@ -1,0 +1,255 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"xymon/internal/alerter"
+	"xymon/internal/baseline"
+	"xymon/internal/core"
+	"xymon/internal/reporter"
+	"xymon/internal/sublang"
+	"xymon/internal/warehouse"
+	"xymon/internal/webgen"
+)
+
+// runFig5 prints Figure 5: time to process one document (µs) as a
+// function of p = Card(S), one column per Card(C). Paper shape: linear in
+// p; ~1 ms at p = 100 with Card(C) = 10^6 on 2001 hardware.
+func runFig5() {
+	cardA := scale(100000)
+	cardCs := []int{scale(10000), scale(100000), scale(1000000)}
+	ps := []int{10, 20, 40, 60, 80, 100}
+	const m = 3
+
+	fmt.Printf("time per document (us), Card(A)=%d, m=%d\n", cardA, m)
+	cols := []string{"p"}
+	for _, c := range cardCs {
+		cols = append(cols, fmt.Sprintf("C=%d", c))
+	}
+	header(cols...)
+	for _, p := range ps {
+		cells := []string{fmt.Sprintf("%d", p)}
+		for _, cardC := range cardCs {
+			// Build, measure, release: retaining all 18 structures (six of
+			// them with a million complex events) would hold gigabytes.
+			w := webgen.GenEventWorkload(int64(1000+p), cardA, cardC, m, p, 1024)
+			mt := buildMatcher(w)
+			cells = append(cells, us(matchTime(mt, w.Docs)))
+		}
+		row(cells...)
+	}
+}
+
+// runFig6 prints Figure 6: time per document (µs) against log10(k). The
+// paper controls k by varying Card(C) from 10^4 to 10^6 with p=20,
+// Card(A)=10^5, m=3 and observes a logarithmic dependence.
+func runFig6() {
+	cardA := scale(100000)
+	const (
+		m = 3
+		p = 20
+	)
+	fmt.Printf("time per document (us) vs k, Card(A)=%d, m=%d, p=%d\n", cardA, m, p)
+	header("Card(C)", "k", "log10(k)", "us/doc")
+	for _, cardC := range []int{scale(10000), scale(33000), scale(100000), scale(330000), scale(1000000)} {
+		w := webgen.GenEventWorkload(2000, cardA, cardC, m, p, 1024)
+		mt := buildMatcher(w)
+		d := matchTime(mt, w.Docs)
+		row(fmt.Sprintf("%d", cardC), fmt.Sprintf("%.1f", w.K()),
+			fmt.Sprintf("%.2f", math.Log10(w.K())), us(d))
+	}
+}
+
+// runMSweep prints the Section 4.2 claim: cost independent of m for
+// m in 2..10 (with p >= m).
+func runMSweep() {
+	cardA := scale(100000)
+	cardC := scale(100000)
+	const p = 20
+	fmt.Printf("time per document (us) vs m, Card(A)=%d, Card(C)=%d, p=%d\n", cardA, cardC, p)
+	header("m", "us/doc")
+	for m := 2; m <= 10; m++ {
+		w := webgen.GenEventWorkload(int64(3000+m), cardA, cardC, m, p, 1024)
+		mt := buildMatcher(w)
+		row(fmt.Sprintf("%d", m), us(matchTime(mt, w.Docs)))
+	}
+}
+
+// runThroughput prints the matcher's sustained rate at 10^6 complex
+// events. Paper: several thousand event sets per second, i.e. the load of
+// about 100 crawlers at 50 documents/second each.
+func runThroughput() {
+	cardA := scale(100000)
+	cardC := scale(1000000)
+	const (
+		m = 3
+		p = 20
+	)
+	w := webgen.GenEventWorkload(4000, cardA, cardC, m, p, 4096)
+	mt := buildMatcher(w)
+	d := matchTime(mt, w.Docs)
+	perSec := float64(time.Second) / float64(d)
+	fmt.Printf("Card(A)=%d Card(C)=%d m=%d p=%d\n", cardA, cardC, m, p)
+	header("us/doc", "docs/s", "crawlers")
+	row(us(d), fmt.Sprintf("%.0f", perSec), fmt.Sprintf("%.0f", perSec/50))
+	fmt.Println("\n(paper: thousands of docs/s; one crawler fetches ~50 docs/s; ~100 crawlers supported)")
+}
+
+// runMemory prints the structure's memory footprint — the live map-based
+// structure and the frozen Compact snapshot — and extrapolates both to the
+// paper's sizing point: ~500 MB for Card(A)=10^6, Card(C)=10^7, m=10.
+func runMemory() {
+	cardA := scale(100000)
+	const m = 10
+	fmt.Printf("structure memory, Card(A)=%d, m=%d\n", cardA, m)
+	header("Card(C)", "live B/cx", "live MB", "frozen B/cx", "frozen MB")
+	var livePer, frozenPer float64
+	for _, cardC := range []int{scale(10000), scale(100000), scale(500000)} {
+		w := webgen.GenEventWorkload(5000, cardA, cardC, m, 20, 1)
+		mt := buildMatcher(w)
+		frozen := core.Freeze(mt)
+		liveBytes := mt.MemoryEstimate()
+		frozenBytes := frozen.MemoryEstimate()
+		livePer = float64(liveBytes) / float64(cardC)
+		frozenPer = float64(frozenBytes) / float64(cardC)
+		row(fmt.Sprintf("%d", cardC),
+			fmt.Sprintf("%.0f", livePer), fmt.Sprintf("%.1f", float64(liveBytes)/1e6),
+			fmt.Sprintf("%.0f", frozenPer), fmt.Sprintf("%.1f", float64(frozenBytes)/1e6))
+	}
+	fmt.Printf("\nextrapolated to the paper's point (Card(C)=10^7, m=10):\n")
+	fmt.Printf("  live map structure: %.1f GB; frozen snapshot: %.1f GB (paper: ~0.5 GB in C++)\n",
+		livePer*1e7/1e9, frozenPer*1e7/1e9)
+}
+
+// runBaselines prints the Section 4.1 matcher ablation.
+func runBaselines() {
+	cardA := scale(10000)
+	cardC := scale(10000)
+	const (
+		m = 3
+		p = 20
+	)
+	w := webgen.GenEventWorkload(6000, cardA, cardC, m, p, 1024)
+	fmt.Printf("Card(A)=%d Card(C)=%d m=%d p=%d\n", cardA, cardC, m, p)
+	header("matcher", "us/doc")
+	live := core.NewMatcher()
+	for _, impl := range []struct {
+		name string
+		m    baseline.Matcher
+	}{
+		{"aes", live},
+		{"counting", baseline.NewCounting()},
+		{"naive", baseline.NewNaive()},
+	} {
+		if err := w.Load(impl.m.Add); err != nil {
+			panic(err)
+		}
+		row(impl.name, us(matchTime(impl.m, w.Docs)))
+	}
+	row("aes-frozen", us(matchTime(core.Freeze(live), w.Docs)))
+	fmt.Println("\n(naive is linear in Card(C); counting is linear in p*k; aes is O(p log k))")
+}
+
+// runPartition prints the subscription-partitioned scaling of Section 4.2.
+func runPartition() {
+	cardA := scale(100000)
+	cardC := scale(400000)
+	const (
+		m = 3
+		p = 20
+	)
+	w := webgen.GenEventWorkload(7000, cardA, cardC, m, p, 1024)
+	fmt.Printf("Card(A)=%d Card(C)=%d m=%d p=%d\n", cardA, cardC, m, p)
+	header("blocks", "us/doc (seq)", "us/doc (par)")
+	for _, blocks := range []int{1, 2, 4, 8} {
+		seq := core.NewPartitioned(blocks, false)
+		par := core.NewPartitioned(blocks, true)
+		if err := w.Load(seq.Add); err != nil {
+			panic(err)
+		}
+		if err := w.Load(par.Add); err != nil {
+			panic(err)
+		}
+		row(fmt.Sprintf("%d", blocks), us(matchTime(seq, w.Docs)), us(matchTime(par, w.Docs)))
+	}
+}
+
+// runURLAlerter prints the Section 6.2 ablation: hash prefix lookup vs
+// the trie ("dictionary") structure. Paper: trie ~30% faster, memory
+// overhead too high.
+func runURLAlerter() {
+	patterns := scale(1000000)
+	urls := make([]string, 4096)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://site%d.example/path/sub%d/page%d.xml", i%500, i%37, i)
+	}
+	fmt.Printf("%d URL-extends patterns\n", patterns)
+	header("structure", "us/lookup", "MB")
+	for _, impl := range []struct {
+		name string
+		idx  alerter.PrefixIndex
+	}{
+		{"hash", alerter.NewHashPrefixIndex()},
+		{"trie", alerter.NewTriePrefixIndex()},
+	} {
+		for i := 0; i < patterns; i++ {
+			impl.idx.Add(fmt.Sprintf("http://site%d.example/path/sub%d/", i%500, i%37), core.Event(i))
+		}
+		d := timeIt(200*time.Millisecond, 256, func(i int) {
+			impl.idx.Lookup(urls[i%len(urls)], func(core.Event) {})
+		})
+		row(impl.name, us(d), fmt.Sprintf("%.1f", float64(impl.idx.MemoryEstimate())/1e6))
+	}
+}
+
+// runXMLAlerter prints the Section 6.3 cost grid: document size × depth,
+// with the crawl-rate comparison (one Xyleme crawler ≈ 50 docs/s).
+func runXMLAlerter() {
+	xa := alerter.NewXMLAlerter()
+	vocab := webgen.Vocabulary()
+	for i, w := range vocab {
+		xa.Register(core.Event(i+1), sublang.Condition{
+			Kind: sublang.CondElement, Tag: fmt.Sprintf("e%d", i%20), Str: w,
+		})
+	}
+	fmt.Printf("%d tag-contains-word conditions registered\n", len(vocab))
+	header("size", "depth", "us/doc", "docs/s")
+	for _, cfg := range []struct{ size, depth int }{
+		{100, 5}, {1000, 5}, {1000, 20}, {10000, 5}, {10000, 20},
+	} {
+		doc := webgen.RandomTree(11, cfg.size, cfg.depth)
+		d := &alerter.Doc{
+			Meta:   warehouse.Metadata{URL: "http://x/", Type: warehouse.XML},
+			Status: warehouse.StatusUnchanged,
+			Doc:    doc,
+		}
+		per := timeIt(200*time.Millisecond, 16, func(int) {
+			xa.Detect(d, func(core.Event) {})
+		})
+		row(fmt.Sprintf("%d", cfg.size), fmt.Sprintf("%d", cfg.depth),
+			us(per), fmt.Sprintf("%.0f", float64(time.Second)/float64(per)))
+	}
+	fmt.Println("\n(paper: cost bounded by Size x Depth; must sustain ~50 docs/s per crawler)")
+}
+
+// runReporter prints the Reporter's notification rate against the paper's
+// 2.4M notifications/day claim.
+func runReporter() {
+	rep := reporter.New(nil)
+	subs := scale(100000)
+	for i := 0; i < subs; i++ {
+		rep.Register(fmt.Sprintf("S%d", i), &sublang.ReportSpec{
+			When: []sublang.ReportTerm{{Kind: sublang.TermCount, Count: 999}},
+		})
+	}
+	per := timeIt(300*time.Millisecond, 1024, func(i int) {
+		rep.Notify(reporter.Notification{Subscription: fmt.Sprintf("S%d", i%subs), Label: "U"})
+	})
+	perDay := float64(24*time.Hour) / float64(per)
+	fmt.Printf("%d subscriptions registered\n", subs)
+	header("us/notif", "notifs/day")
+	row(us(per), fmt.Sprintf("%.2e", perDay))
+	fmt.Println("\n(paper: over 2.4 million notifications per day on one PC)")
+}

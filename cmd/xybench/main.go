@@ -1,0 +1,91 @@
+// Command xybench regenerates every figure and capacity table of the
+// paper's evaluation (see DESIGN.md for the experiment index):
+//
+//	xybench fig5        Figure 5: time/doc vs Card(S), per Card(C)
+//	xybench fig6        Figure 6: time/doc vs log k
+//	xybench msweep      Section 4.2: independence of m
+//	xybench throughput  Section 4.2: documents/second at 10^6 complex events
+//	xybench memory      Section 4.2: structure memory vs paper's 500 MB point
+//	xybench baselines   Section 4.1: AES vs counting vs naive matchers
+//	xybench partition   Section 4.2: subscription-partitioned processors
+//	xybench urlalerter  Section 6.2: hash vs trie URL-prefix structures
+//	xybench xmlalerter  Section 6.3: XML alerter cost vs size × depth
+//	xybench reporter    Section 3: notifications/day through the Reporter
+//	xybench endtoend    Section 1: full chain, documents/day
+//	xybench all         everything above
+//
+// With -quick, scales are reduced ~10x for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+var quick = flag.Bool("quick", false, "reduce workload scales ~10x for a quick run")
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func()
+}{
+	{"fig5", "Figure 5: time per document vs Card(S)", runFig5},
+	{"fig6", "Figure 6: time per document vs log k", runFig6},
+	{"msweep", "independence of m (Section 4.2)", runMSweep},
+	{"throughput", "matcher throughput (Section 4.2)", runThroughput},
+	{"memory", "structure memory (Section 4.2)", runMemory},
+	{"baselines", "AES vs counting vs naive (Section 4.1)", runBaselines},
+	{"partition", "partitioned processors (Section 4.2)", runPartition},
+	{"urlalerter", "URL prefix structures (Section 6.2)", runURLAlerter},
+	{"xmlalerter", "XML alerter size x depth (Section 6.3)", runXMLAlerter},
+	{"reporter", "reporter notification rate (Section 3)", runReporter},
+	{"crawl", "adaptive vs fixed refresh strategy (Section 2.1, [19])", runCrawl},
+	{"endtoend", "full-chain document rate (Section 1)", runEndToEnd},
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, e := range experiments {
+			fmt.Printf("== %s — %s\n", e.name, e.desc)
+			e.run()
+			fmt.Println()
+		}
+		return
+	}
+	for _, e := range experiments {
+		if e.name == name {
+			e.run()
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "xybench: unknown experiment %q\n", name)
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: xybench [-quick] <experiment>\n\nexperiments:\n")
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintf(os.Stderr, "  %-11s run everything\n", "all")
+}
+
+// scale divides workload sizes in quick mode.
+func scale(n int) int {
+	if *quick {
+		n /= 10
+		if n < 1 {
+			n = 1
+		}
+	}
+	return n
+}

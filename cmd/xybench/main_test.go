@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+// TestExperimentsSmoke runs every experiment at quick scale: the harness
+// itself must not panic or wedge, whatever the timing results are.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale experiments still take seconds; skipped with -short")
+	}
+	*quick = true
+	defer func() { *quick = false }()
+	cheap := map[string]bool{"baselines": true, "memory": true, "crawl": true, "urlalerter": true}
+	for _, e := range experiments {
+		if !cheap[e.name] {
+			continue // the timing-loop experiments take seconds each; the
+			// shell smoke runs and the root benchmarks cover them
+		}
+		t.Run(e.name, func(t *testing.T) {
+			e.run()
+		})
+	}
+}
+
+func TestScale(t *testing.T) {
+	*quick = false
+	if scale(1000) != 1000 {
+		t.Error("scale must be identity when quick is off")
+	}
+	*quick = true
+	defer func() { *quick = false }()
+	if scale(1000) != 100 {
+		t.Errorf("scale(1000) = %d, want 100", scale(1000))
+	}
+	if scale(5) != 1 {
+		t.Errorf("scale(5) = %d, want 1", scale(5))
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"xymon/internal/core"
+	"xymon/internal/webgen"
+)
+
+// timeIt warms op up, then runs it in a loop until minDur has elapsed (at
+// least minIters iterations) and returns the mean time per operation.
+func timeIt(minDur time.Duration, minIters int, op func(i int)) time.Duration {
+	warm := minIters / 4
+	if warm < 8 {
+		warm = 8
+	}
+	for i := 0; i < warm; i++ {
+		op(i)
+	}
+	runtime.GC() // keep collector pauses of structure building out of the window
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < minDur || iters < minIters {
+		op(iters)
+		iters++
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// matchTime measures the mean per-document matching time of m over docs.
+func matchTime(m interface {
+	Match(core.EventSet) []core.ComplexID
+}, docs []core.EventSet) time.Duration {
+	return timeIt(300*time.Millisecond, 256, func(i int) {
+		m.Match(docs[i%len(docs)])
+	})
+}
+
+// buildMatcher loads a workload into a fresh matcher.
+func buildMatcher(w *webgen.EventWorkload) *core.Matcher {
+	m := core.NewMatcher()
+	if err := w.Load(m.Add); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func header(cols ...string) {
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Printf("%12s", c)
+	}
+	fmt.Println()
+}
+
+func row(cells ...string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Printf("%12s", c)
+	}
+	fmt.Println()
+}
+
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1000.0)
+}

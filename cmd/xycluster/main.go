@@ -1,0 +1,210 @@
+// Command xycluster runs the distributed Monitoring Query Processor from
+// the shell: the Section 4.2 distribution over real processes.
+//
+//	xycluster freeze -c 100000 -a 10000 -m 3 -blocks 4 -out dir/
+//	    generate a synthetic subscription base, partition it and write one
+//	    frozen snapshot per block (block0.xyc, block1.xyc, …)
+//
+//	xycluster serve -addr :7070 block0.xyc
+//	    serve one block's snapshot over TCP
+//
+//	xycluster match -blocks host1:7070,host2:7070 1,3,5
+//	    match one atomic event set against every block and print the
+//	    complex event ids
+//
+//	xycluster bench -blocks host1:7070,host2:7070 -p 20 -a 10000 -n 5000
+//	    drive random documents through the cluster and report the rate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"xymon/internal/cluster"
+	"xymon/internal/core"
+	"xymon/internal/webgen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "freeze":
+		err = runFreeze(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "match":
+		err = runMatch(os.Args[2:])
+	case "bench":
+		err = runBench(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xycluster: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  xycluster freeze -c N -a N -m N -blocks N -out DIR [-seed N]
+  xycluster serve -addr HOST:PORT FILE.xyc
+  xycluster match -blocks ADDR[,ADDR...] EVENT[,EVENT...]
+  xycluster bench -blocks ADDR[,ADDR...] [-p N] [-a N] [-n N] [-seed N]`)
+}
+
+func runFreeze(args []string) error {
+	fs := flag.NewFlagSet("freeze", flag.ExitOnError)
+	cardC := fs.Int("c", 100000, "complex events")
+	cardA := fs.Int("a", 10000, "atomic event universe")
+	m := fs.Int("m", 3, "events per complex event")
+	blocks := fs.Int("blocks", 4, "partition blocks")
+	out := fs.String("out", ".", "output directory")
+	seed := fs.Int64("seed", 1, "workload seed")
+	fs.Parse(args)
+	w := webgen.GenEventWorkload(*seed, *cardA, *cardC, *m, 1, 1)
+	parts := make([]*core.Matcher, *blocks)
+	for i := range parts {
+		parts[i] = core.NewMatcher()
+	}
+	for id, events := range w.Complex {
+		if err := parts[id%*blocks].Add(core.ComplexID(id), events); err != nil {
+			return err
+		}
+	}
+	for i, part := range parts {
+		frozen := core.Freeze(part)
+		path := filepath.Join(*out, fmt.Sprintf("block%d.xyc", i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		n, err := frozen.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d complex events, %d bytes\n", path, part.Len(), n)
+	}
+	return nil
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("serve needs exactly one snapshot file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	block, err := core.ReadCompact(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	srv, err := cluster.Serve(*addr, block)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %d complex events on %s\n", block.Len(), srv.Addr())
+	select {} // run until killed
+}
+
+func parseBlocks(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func runMatch(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	blocks := fs.String("blocks", "", "comma-separated block addresses")
+	fs.Parse(args)
+	addrs := parseBlocks(*blocks)
+	if len(addrs) == 0 || fs.NArg() != 1 {
+		return fmt.Errorf("match needs -blocks and one event list")
+	}
+	var events []core.Event
+	for _, part := range strings.Split(fs.Arg(0), ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad event %q: %v", part, err)
+		}
+		events = append(events, core.Event(v))
+	}
+	client, err := cluster.Dial(addrs...)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	ids, err := client.Match(core.Canonical(events))
+	if err != nil {
+		return err
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Printf("%d complex events matched: %v\n", len(ids), ids)
+	return nil
+}
+
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	blocks := fs.String("blocks", "", "comma-separated block addresses")
+	p := fs.Int("p", 20, "events per document")
+	cardA := fs.Int("a", 10000, "atomic event universe")
+	n := fs.Int("n", 5000, "documents to match")
+	seed := fs.Int64("seed", 2, "document seed")
+	fs.Parse(args)
+	addrs := parseBlocks(*blocks)
+	if len(addrs) == 0 {
+		return fmt.Errorf("bench needs -blocks")
+	}
+	client, err := cluster.Dial(addrs...)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	rng := rand.New(rand.NewSource(*seed))
+	docs := make([]core.EventSet, 256)
+	for i := range docs {
+		events := make([]core.Event, *p)
+		for j := range events {
+			events[j] = core.Event(rng.Intn(*cardA))
+		}
+		docs[i] = core.Canonical(events)
+	}
+	matches := 0
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		ids, err := client.Match(docs[i%len(docs)])
+		if err != nil {
+			return err
+		}
+		matches += len(ids)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d documents over %d blocks in %v: %.0f docs/s, %d matches\n",
+		*n, len(addrs), elapsed.Round(time.Millisecond),
+		float64(*n)/elapsed.Seconds(), matches)
+	return nil
+}

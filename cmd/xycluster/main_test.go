@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xymon/internal/cluster"
+	"xymon/internal/core"
+)
+
+func TestParseBlocks(t *testing.T) {
+	got := parseBlocks(" a:1, ,b:2 ,")
+	if len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Errorf("parseBlocks = %v", got)
+	}
+	if parseBlocks("") != nil {
+		t.Error("empty input should yield nil")
+	}
+}
+
+func TestFreezeProducesLoadableSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	if err := runFreeze([]string{"-c", "2000", "-a", "500", "-m", "3", "-blocks", "3", "-out", dir, "-seed", "9"}); err != nil {
+		t.Fatalf("runFreeze: %v", err)
+	}
+	total := 0
+	var blocks []*core.Compact
+	for i := 0; i < 3; i++ {
+		f, err := os.Open(filepath.Join(dir, "block"+string(rune('0'+i))+".xyc"))
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		c, err := core.ReadCompact(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("ReadCompact: %v", err)
+		}
+		total += c.Len()
+		blocks = append(blocks, c)
+	}
+	if total != 2000 {
+		t.Errorf("total complex events across blocks = %d, want 2000", total)
+	}
+	// The snapshots are directly servable.
+	srv, err := cluster.Serve("127.0.0.1:0", blocks[0])
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	client, err := cluster.Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+	if _, err := client.Match(core.EventSet{1, 2, 3}); err != nil {
+		t.Errorf("Match: %v", err)
+	}
+}
+
+func TestMatchRejectsBadArgs(t *testing.T) {
+	if err := runMatch([]string{"-blocks", ""}); err == nil {
+		t.Error("match without blocks should fail")
+	}
+	if err := runBench([]string{"-blocks", ""}); err == nil {
+		t.Error("bench without blocks should fail")
+	}
+	if err := runServe([]string{"-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("serve without file should fail")
+	}
+}

@@ -1,0 +1,134 @@
+// Command xysub parses, validates and explains subscriptions written in
+// the subscription language of Section 5.
+//
+//	xysub check file.sub ...   parse + validate, report errors
+//	xysub explain file.sub     print the compiled view: monitoring queries,
+//	                           their atomic conditions (one atomic event
+//	                           each), continuous queries, report spec
+//
+// With no files, input is read from stdin.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"xymon/internal/sublang"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	files := os.Args[2:]
+	switch cmd {
+	case "check", "explain":
+	default:
+		usage()
+		os.Exit(2)
+	}
+	inputs, err := readInputs(files)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xysub: %v\n", err)
+		os.Exit(1)
+	}
+	failed := false
+	for name, src := range inputs {
+		sub, err := sublang.Parse(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		if cmd == "check" {
+			fmt.Printf("%s: ok (subscription %s)\n", name, sub.Name)
+			continue
+		}
+		explainTo(os.Stdout, sub)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: xysub check|explain [file ...]")
+}
+
+func readInputs(files []string) (map[string]string, error) {
+	inputs := make(map[string]string)
+	if len(files) == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		inputs["<stdin>"] = string(src)
+		return inputs, nil
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		inputs[f] = string(src)
+	}
+	return inputs, nil
+}
+
+func explainTo(w io.Writer, sub *sublang.Subscription) {
+	fmt.Fprintf(w, "subscription %s\n", sub.Name)
+	for i, m := range sub.Monitoring {
+		fmt.Fprintf(w, "  monitoring query #%d (label %s)\n", i+1, m.Label())
+		fmt.Fprintf(w, "    complex event = conjunction of %d atomic events:\n", len(m.Where))
+		for _, c := range m.Where {
+			kind := "strong"
+			if c.Weak() {
+				kind = "weak"
+			}
+			fmt.Fprintf(w, "      [%s] %s\n", kind, c)
+		}
+	}
+	for _, c := range sub.Continuous {
+		mode := ""
+		if c.Delta {
+			mode = " (delta)"
+		}
+		fmt.Fprintf(w, "  continuous query %s%s\n", c.Name, mode)
+		if c.Query != nil {
+			fmt.Fprintf(w, "    %s\n", c.Query)
+		}
+		if c.When.Freq != 0 {
+			fmt.Fprintf(w, "    evaluated %s\n", c.When.Freq)
+		} else {
+			fmt.Fprintf(w, "    triggered by %s.%s\n", c.When.NotifSub, c.When.NotifQuery)
+		}
+	}
+	for _, r := range sub.Refresh {
+		fmt.Fprintf(w, "  refresh %q %s\n", r.URL, r.Freq)
+	}
+	for _, v := range sub.Virtual {
+		fmt.Fprintf(w, "  virtual %s.%s\n", v.Subscription, v.Query)
+	}
+	if sub.Report != nil {
+		fmt.Fprintf(w, "  report when:")
+		for i, t := range sub.Report.When {
+			if i > 0 {
+				fmt.Fprintf(w, " or")
+			}
+			fmt.Fprintf(w, " %s", t)
+		}
+		fmt.Fprintln(w)
+		if sub.Report.AtMostCount > 0 {
+			fmt.Fprintf(w, "    atmost %d notifications\n", sub.Report.AtMostCount)
+		}
+		if sub.Report.AtMostFreq > 0 {
+			fmt.Fprintf(w, "    atmost %s\n", sub.Report.AtMostFreq)
+		}
+		if sub.Report.Archive > 0 {
+			fmt.Fprintf(w, "    archive %s\n", sub.Report.Archive)
+		}
+	}
+}

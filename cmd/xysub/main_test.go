@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xymon/internal/sublang"
+)
+
+const sample = `subscription Sample
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://inria.fr/Xy/" and modified self
+continuous delta Q
+select p/title from culture/museum m, m/painting p where m/address contains "Amsterdam"
+when biweekly
+virtual Other.Thing
+refresh "http://inria.fr/Xy/m.xml" weekly
+report when notifications.count > 100 atmost 500 atmost weekly archive monthly
+`
+
+func TestExplainOutput(t *testing.T) {
+	sub, err := sublang.Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var b strings.Builder
+	explainTo(&b, sub)
+	out := b.String()
+	for _, want := range []string{
+		"subscription Sample",
+		"monitoring query #1 (label UpdatedPage)",
+		"[strong] URL extends",
+		"[weak] updated self",
+		"continuous query Q (delta)",
+		"evaluated biweekly",
+		"virtual Other.Thing",
+		`refresh "http://inria.fr/Xy/m.xml" weekly`,
+		"report when: notifications.count > 100",
+		"atmost 500 notifications",
+		"atmost weekly",
+		"archive monthly",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadInputsFiles(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.sub")
+	if err := os.WriteFile(p1, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inputs, err := readInputs([]string{p1})
+	if err != nil {
+		t.Fatalf("readInputs: %v", err)
+	}
+	if inputs[p1] != sample {
+		t.Errorf("content mismatch")
+	}
+	if _, err := readInputs([]string{filepath.Join(dir, "missing.sub")}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestExplainNotificationTrigger(t *testing.T) {
+	sub, err := sublang.Parse(`subscription T
+monitoring select <H/> where URL extends "http://a.example/"
+continuous C select x from y/z x when T.H
+report when immediate`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var b strings.Builder
+	explainTo(&b, sub)
+	if !strings.Contains(b.String(), "triggered by T.H") {
+		t.Errorf("output = %s", b.String())
+	}
+}

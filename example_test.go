@@ -1,0 +1,54 @@
+package xymon_test
+
+import (
+	"fmt"
+
+	"xymon"
+)
+
+// A complete monitoring cycle: subscribe, push two versions of a page,
+// receive the report. The first fetch is a discovery (the page is new, so
+// `modified self` stays silent); the second raises the UpdatedPage
+// notification and the immediate report condition delivers it.
+func Example() {
+	sys, _ := xymon.New(xymon.Options{
+		Delivery: xymon.DeliveryFunc(func(r *xymon.Report) error {
+			fmt.Println(r.Doc.XML())
+			return nil
+		}),
+	})
+	sys.Subscribe(`subscription Watch
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://inria.fr/Xy/" and modified self
+report when immediate`)
+
+	sys.PushXML("http://inria.fr/Xy/index.xml", "", "", "<page><v>1</v></page>")
+	sys.PushXML("http://inria.fr/Xy/index.xml", "", "", "<page><v>2</v></page>")
+	// Output: <Report><UpdatedPage url="http://inria.fr/Xy/index.xml"/></Report>
+}
+
+// Element-level monitoring: a new Member element inside a watched page
+// produces one notification per new element, carrying the element itself.
+func Example_elementLevel() {
+	sys, _ := xymon.New(xymon.Options{
+		Delivery: xymon.DeliveryFunc(func(r *xymon.Report) error {
+			fmt.Println(r.Doc.XML())
+			return nil
+		}),
+	})
+	sys.Subscribe(`subscription Members
+monitoring
+select X
+from self//Member X
+where URL = "http://inria.fr/Xy/members.xml" and new X
+report when immediate`)
+
+	sys.PushXML("http://inria.fr/Xy/members.xml", "", "",
+		"<Team><Member><name>nguyen</name></Member></Team>")
+	sys.PushXML("http://inria.fr/Xy/members.xml", "", "",
+		"<Team><Member><name>nguyen</name></Member><Member><name>preda</name></Member></Team>")
+	// Output:
+	// <Report><Member><name>nguyen</name></Member></Report>
+	// <Report><Member><name>preda</name></Member></Report>
+}

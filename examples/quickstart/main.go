@@ -1,0 +1,74 @@
+// Quickstart: the paper's MyXyleme scenario in a few lines. A
+// subscription watches a site prefix for modified pages and a members
+// list for new Member elements; pushing document versions through the
+// system produces notifications, and the report condition bundles them
+// into one XML report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xymon"
+)
+
+func main() {
+	sys, err := xymon.New(xymon.Options{
+		Delivery: xymon.DeliveryFunc(func(r *xymon.Report) error {
+			fmt.Printf("--- report for %s (%d notifications) ---\n%s\n\n",
+				r.Subscription, r.Notifications, r.Doc.XML())
+			return nil
+		}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The MyXyleme subscription of Section 2.2 (report threshold lowered
+	// so the example terminates quickly).
+	if _, err := sys.Subscribe(`subscription MyXyleme
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://inria.fr/Xy/"
+  and modified self
+
+monitoring
+select X
+from self//Member X
+where URL = "http://inria.fr/Xy/members.xml"
+  and new X
+
+report
+when notifications.count > 3
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Discovery fetches: pages are new, so `modified self` stays silent,
+	// but every Member of the fresh members page is a new element.
+	push(sys, "http://inria.fr/Xy/index.html", `<page><title>Xyleme</title></page>`)
+	push(sys, "http://inria.fr/Xy/members.xml", `<Team>
+		<Member><name>jouglet</name><fn>jeremie</fn></Member>
+		<Member><name>nguyen</name><fn>benjamin</fn></Member>
+	</Team>`)
+
+	// Refreshes: the index page changed, and a member joined the team.
+	push(sys, "http://inria.fr/Xy/index.html", `<page><title>Xyleme v2</title></page>`)
+	push(sys, "http://inria.fr/Xy/members.xml", `<Team>
+		<Member><name>jouglet</name><fn>jeremie</fn></Member>
+		<Member><name>nguyen</name><fn>benjamin</fn></Member>
+		<Member><name>preda</name><fn>mihai</fn></Member>
+	</Team>`)
+
+	st := sys.Stats()
+	fmt.Printf("processed %d documents, produced %d notifications\n",
+		st.Manager.DocsProcessed, st.Manager.Notifications)
+}
+
+func push(sys *xymon.System, url, content string) {
+	n, err := sys.PushXML(url, "", "", content)
+	if err != nil {
+		log.Fatalf("push %s: %v", url, err)
+	}
+	fmt.Printf("fetched %-40s -> %d notification(s)\n", url, n)
+}

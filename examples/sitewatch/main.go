@@ -1,0 +1,101 @@
+// Site watching with continuous queries: the paper's Amsterdam paintings
+// scenario (Section 5.2). A museum-domain warehouse is populated by the
+// simulated crawl; a `continuous delta` query re-runs twice a week and
+// reports only what changed, and a second, notification-triggered
+// continuous query re-evaluates whenever a watched page changes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xymon"
+)
+
+const amsterdamV1 = `<culture>
+	<museum><address>Amsterdam Museumplein</address>
+		<painting><title>Night Watch</title></painting>
+		<painting><title>Milkmaid</title></painting>
+	</museum>
+	<museum><address>Paris</address>
+		<painting><title>Mona Lisa</title></painting>
+	</museum>
+</culture>`
+
+const amsterdamV2 = `<culture>
+	<museum><address>Amsterdam Museumplein</address>
+		<painting><title>Night Watch</title></painting>
+		<painting><title>Milkmaid</title></painting>
+		<painting><title>Sunflowers</title></painting>
+	</museum>
+	<museum><address>Paris</address>
+		<painting><title>Mona Lisa</title></painting>
+	</museum>
+</culture>`
+
+func main() {
+	now := time.Date(2001, 5, 21, 0, 0, 0, 0, time.UTC)
+	sys, err := xymon.New(xymon.Options{
+		Clock: func() time.Time { return now },
+		Delivery: xymon.DeliveryFunc(func(r *xymon.Report) error {
+			fmt.Printf("--- %s | %s ---\n%s\n\n",
+				now.Format("2006-01-02"), r.Subscription, r.Doc.XML())
+			return nil
+		}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Populate the culture domain of the warehouse.
+	if _, err := sys.PushXML("http://museums.example/nl.xml", "", "culture", amsterdamV1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Twice-a-week delta query over the whole domain, plus a monitoring
+	// query on the source page that triggers an immediate re-count.
+	if _, err := sys.Subscribe(`subscription ArtLover
+monitoring
+select <MuseumPageChanged url=URL/>
+where URL = "http://museums.example/nl.xml"
+  and modified self
+
+continuous delta AmsterdamPaintings
+select p/title
+from culture/museum m, m/painting p
+where m/address contains "Amsterdam"
+try biweekly
+
+continuous AllAmsterdam
+select p/title
+from culture/museum m, m/painting p
+where m/address contains "Amsterdam"
+when ArtLover.MuseumPageChanged
+
+report when immediate
+
+refresh "http://museums.example/nl.xml" weekly
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	step := func(days int) {
+		now = now.Add(time.Duration(days) * 24 * time.Hour)
+		sys.Tick()
+	}
+
+	fmt.Println("== initial biweekly evaluation (full answer) ==")
+	sys.Tick()
+
+	fmt.Println("== 4 days later: nothing changed, delta query stays silent ==")
+	step(4)
+
+	fmt.Println("== Sunflowers arrives; page change triggers AllAmsterdam ==")
+	if _, err := sys.PushXML("http://museums.example/nl.xml", "", "culture", amsterdamV2); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== next biweekly run reports only the delta ==")
+	step(4)
+}

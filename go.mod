@@ -1,0 +1,3 @@
+module xymon
+
+go 1.24

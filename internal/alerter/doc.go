@@ -1,0 +1,40 @@
+// Package alerter implements the first stage of the notification chain
+// (Section 6): the URL Alerter, the XML Alerter and the HTML Alerter. For
+// every fetched document the alerters detect the atomic events of interest
+// and assemble a single alert — the ordered set of atomic event codes —
+// which is sent to the Monitoring Query Processor. All the atomic events
+// of a document are collected before the alert is sent, so the processor
+// sees each document exactly once (Section 6.1).
+package alerter
+
+import (
+	"xymon/internal/core"
+	"xymon/internal/warehouse"
+	"xymon/internal/xmldom"
+	"xymon/internal/xydiff"
+)
+
+// Doc is the unit of work flowing from the crawler through the alerters: a
+// fetched page with its metadata, its change status against the warehouse
+// and, for XML, the parsed document and the delta to the previous version.
+type Doc struct {
+	Meta   warehouse.Metadata
+	Status warehouse.Status
+	// Doc is the current version for XML pages (nil for HTML).
+	Doc *xmldom.Document
+	// Delta is the change from the previous version (nil unless updated).
+	Delta *xydiff.Delta
+	// Content is the raw page body for HTML pages.
+	Content []byte
+}
+
+// Alert is what the alerters hand to the Monitoring Query Processor: the
+// canonical set of atomic events detected on one document plus the data
+// needed to build notifications.
+type Alert struct {
+	Doc    *Doc
+	Events core.EventSet
+	// Strong is false when only weak events (document-level change
+	// patterns) were detected; such alerts are suppressed (Section 5.1).
+	Strong bool
+}

@@ -1,0 +1,85 @@
+package alerter
+
+import (
+	"sync"
+
+	"xymon/internal/core"
+	"xymon/internal/sublang"
+	"xymon/internal/xmldom"
+)
+
+// HTMLAlerter detects content events on HTML pages. The paper lists HTML
+// alerters as designed but not yet implemented ("Only the first two have
+// been implemented", Section 3); this implementation completes them in the
+// obvious way: HTML pages are not warehoused, so only whole-page keyword
+// containment is supported (`self contains word`), on the raw text of the
+// fetched page. Metadata and signature-change events are the URL
+// Alerter's job and apply to HTML pages unchanged.
+type HTMLAlerter struct {
+	mu    sync.RWMutex
+	words map[string][]core.Event
+}
+
+// NewHTMLAlerter returns an empty HTML alerter.
+func NewHTMLAlerter() *HTMLAlerter {
+	return &HTMLAlerter{words: make(map[string][]core.Event)}
+}
+
+// Handles reports whether the condition kind belongs to this alerter.
+func (a *HTMLAlerter) Handles(kind sublang.CondKind) bool {
+	return kind == sublang.CondSelfContains
+}
+
+// Register wires an atomic event code to a condition.
+func (a *HTMLAlerter) Register(code core.Event, cond sublang.Condition) {
+	if cond.Kind != sublang.CondSelfContains {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := xmldom.NormalizeWord(cond.Str)
+	a.words[w] = append(a.words[w], code)
+}
+
+// Unregister removes a previously registered (code, condition) pair.
+func (a *HTMLAlerter) Unregister(code core.Event, cond sublang.Condition) {
+	if cond.Kind != sublang.CondSelfContains {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := xmldom.NormalizeWord(cond.Str)
+	codes := a.words[w]
+	for i, c := range codes {
+		if c == code {
+			codes = append(codes[:i], codes[i+1:]...)
+			break
+		}
+	}
+	if len(codes) == 0 {
+		delete(a.words, w)
+	} else {
+		a.words[w] = codes
+	}
+}
+
+// Detect appends keyword events found in the raw page body.
+func (a *HTMLAlerter) Detect(d *Doc, emit func(core.Event)) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if len(a.words) == 0 || len(d.Content) == 0 {
+		return
+	}
+	seen := make(map[string]bool)
+	for _, w := range xmldom.Words(string(d.Content)) {
+		if seen[w] {
+			continue
+		}
+		if codes, ok := a.words[w]; ok {
+			seen[w] = true
+			for _, c := range codes {
+				emit(c)
+			}
+		}
+	}
+}

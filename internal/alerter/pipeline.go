@@ -1,0 +1,96 @@
+package alerter
+
+import (
+	"sync"
+
+	"xymon/internal/core"
+	"xymon/internal/sublang"
+	"xymon/internal/warehouse"
+)
+
+// Pipeline chains the alerters of Figure 7: a document is handled first by
+// the URL Alerter, then by the XML or HTML Alerter depending on its type,
+// and all detected atomic events are assembled into a single alert. The
+// pipeline also applies the weak/strong rule of Section 5.1: an alert is
+// produced only when at least one strong atomic event was detected.
+type Pipeline struct {
+	URL  *URLAlerter
+	XML  *XMLAlerter
+	HTML *HTMLAlerter
+
+	mu   sync.RWMutex
+	weak map[core.Event]bool // codes of weak (document change) events
+}
+
+// NewPipeline assembles the default alerter chain; prefixes selects the
+// `URL extends` structure (nil for the default hash index).
+func NewPipeline(prefixes PrefixIndex) *Pipeline {
+	return &Pipeline{
+		URL:  NewURLAlerter(prefixes),
+		XML:  NewXMLAlerter(),
+		HTML: NewHTMLAlerter(),
+		weak: make(map[core.Event]bool),
+	}
+}
+
+// Register wires an atomic event code to its condition across the chain.
+func (p *Pipeline) Register(code core.Event, cond sublang.Condition) {
+	if p.URL.Handles(cond.Kind) {
+		p.URL.Register(code, cond)
+	}
+	if p.XML.Handles(cond.Kind) {
+		p.XML.Register(code, cond)
+	}
+	if p.HTML.Handles(cond.Kind) {
+		p.HTML.Register(code, cond)
+	}
+	if cond.Weak() {
+		p.mu.Lock()
+		p.weak[code] = true
+		p.mu.Unlock()
+	}
+}
+
+// Unregister removes the code's condition from the chain.
+func (p *Pipeline) Unregister(code core.Event, cond sublang.Condition) {
+	if p.URL.Handles(cond.Kind) {
+		p.URL.Unregister(code, cond)
+	}
+	if p.XML.Handles(cond.Kind) {
+		p.XML.Unregister(code, cond)
+	}
+	if p.HTML.Handles(cond.Kind) {
+		p.HTML.Unregister(code, cond)
+	}
+	p.mu.Lock()
+	delete(p.weak, code)
+	p.mu.Unlock()
+}
+
+// Detect runs the chain on one document and returns the alert: the
+// canonical atomic event set plus the strong flag. A nil alert means no
+// event of interest was detected at all.
+func (p *Pipeline) Detect(d *Doc) *Alert {
+	var events []core.Event
+	emit := func(c core.Event) { events = append(events, c) }
+	p.URL.Detect(d, emit)
+	if d.Meta.Type == warehouse.XML {
+		p.XML.Detect(d, emit)
+	} else {
+		p.HTML.Detect(d, emit)
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	set := core.Canonical(events)
+	p.mu.RLock()
+	strong := false
+	for _, e := range set {
+		if !p.weak[e] {
+			strong = true
+			break
+		}
+	}
+	p.mu.RUnlock()
+	return &Alert{Doc: d, Events: set, Strong: strong}
+}

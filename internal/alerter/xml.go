@@ -1,0 +1,346 @@
+package alerter
+
+import (
+	"sync"
+
+	"xymon/internal/core"
+	"xymon/internal/sublang"
+	"xymon/internal/warehouse"
+	"xymon/internal/xmldom"
+	"xymon/internal/xydiff"
+)
+
+// tagTable maps an element tag to atomic event codes — the TagTable of
+// Figure 8, reached through the WordTable.
+type tagTable map[string][]core.Event
+
+// wordTable maps an interesting word to its per-tag code table.
+type wordTable map[string]tagTable
+
+func (w wordTable) add(word, tag string, code core.Event) {
+	t := w[word]
+	if t == nil {
+		t = make(tagTable)
+		w[word] = t
+	}
+	t[tag] = append(t[tag], code)
+}
+
+func (w wordTable) remove(word, tag string, code core.Event) {
+	t := w[word]
+	if t == nil {
+		return
+	}
+	codes := t[tag]
+	for i, c := range codes {
+		if c == code {
+			codes = append(codes[:i], codes[i+1:]...)
+			break
+		}
+	}
+	if len(codes) == 0 {
+		delete(t, tag)
+		if len(t) == 0 {
+			delete(w, word)
+		}
+	} else {
+		t[tag] = codes
+	}
+}
+
+// changeTable indexes element change conditions: change op -> tag -> list
+// of (word constraint, code).
+type changeTable map[sublang.ChangeOp]map[string][]changeCond
+
+type changeCond struct {
+	word   string // empty means no contains constraint
+	strict bool
+	code   core.Event
+}
+
+func (ct changeTable) add(op sublang.ChangeOp, tag string, cc changeCond) {
+	byTag := ct[op]
+	if byTag == nil {
+		byTag = make(map[string][]changeCond)
+		ct[op] = byTag
+	}
+	byTag[tag] = append(byTag[tag], cc)
+}
+
+func (ct changeTable) remove(op sublang.ChangeOp, tag string, code core.Event) {
+	byTag := ct[op]
+	if byTag == nil {
+		return
+	}
+	conds := byTag[tag]
+	for i, c := range conds {
+		if c.code == code {
+			conds = append(conds[:i], conds[i+1:]...)
+			break
+		}
+	}
+	if len(conds) == 0 {
+		delete(byTag, tag)
+		if len(byTag) == 0 {
+			delete(ct, op)
+		}
+	} else {
+		byTag[tag] = conds
+	}
+}
+
+// XMLAlerter detects element-level atomic events on XML documents
+// (Section 6.3): presence conditions `tag (strict) contains word` via a
+// postorder traversal with the WordTable→TagTable structure of Figure 8,
+// change conditions `new/updated/deleted tag …` via the delta
+// classification, and `self contains word` over the whole document.
+type XMLAlerter struct {
+	mu sync.RWMutex
+	// contains / strictContains are the two word tables of Figure 8.
+	contains wordTable
+	strict   wordTable
+	// selfContains maps a word to codes of `self contains word`.
+	selfContains map[string][]core.Event
+	// changes indexes element change conditions.
+	changes changeTable
+}
+
+// NewXMLAlerter returns an empty XML alerter.
+func NewXMLAlerter() *XMLAlerter {
+	return &XMLAlerter{
+		contains:     make(wordTable),
+		strict:       make(wordTable),
+		selfContains: make(map[string][]core.Event),
+		changes:      make(changeTable),
+	}
+}
+
+// Handles reports whether the condition kind belongs to this alerter.
+func (a *XMLAlerter) Handles(kind sublang.CondKind) bool {
+	return kind == sublang.CondElement || kind == sublang.CondSelfContains
+}
+
+// Register wires an atomic event code to a condition.
+func (a *XMLAlerter) Register(code core.Event, cond sublang.Condition) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch cond.Kind {
+	case sublang.CondSelfContains:
+		w := xmldom.NormalizeWord(cond.Str)
+		a.selfContains[w] = append(a.selfContains[w], code)
+	case sublang.CondElement:
+		word := xmldom.NormalizeWord(cond.Str)
+		if cond.Change == sublang.NoChange {
+			if cond.Strict {
+				a.strict.add(word, cond.Tag, code)
+			} else {
+				a.contains.add(word, cond.Tag, code)
+			}
+		} else {
+			a.changes.add(cond.Change, cond.Tag, changeCond{word: word, strict: cond.Strict, code: code})
+		}
+	}
+}
+
+// Unregister removes a previously registered (code, condition) pair.
+func (a *XMLAlerter) Unregister(code core.Event, cond sublang.Condition) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch cond.Kind {
+	case sublang.CondSelfContains:
+		w := xmldom.NormalizeWord(cond.Str)
+		codes := a.selfContains[w]
+		for i, c := range codes {
+			if c == code {
+				codes = append(codes[:i], codes[i+1:]...)
+				break
+			}
+		}
+		if len(codes) == 0 {
+			delete(a.selfContains, w)
+		} else {
+			a.selfContains[w] = codes
+		}
+	case sublang.CondElement:
+		word := xmldom.NormalizeWord(cond.Str)
+		if cond.Change == sublang.NoChange {
+			if cond.Strict {
+				a.strict.remove(word, cond.Tag, code)
+			} else {
+				a.contains.remove(word, cond.Tag, code)
+			}
+		} else {
+			a.changes.remove(cond.Change, cond.Tag, code)
+		}
+	}
+}
+
+// Detect appends the element-level atomic events raised by the document.
+func (a *XMLAlerter) Detect(d *Doc, emit func(core.Event)) {
+	if d.Doc == nil || d.Doc.Root == nil {
+		return
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	a.detectPresence(d.Doc.Root, emit)
+	a.detectSelfContains(d.Doc.Root, emit)
+	a.detectChanges(d, emit)
+}
+
+// detectPresence runs the postorder algorithm of Section 6.3. Every node n
+// contributes the pair (level, content); walking in postorder, the words
+// of the subtree rooted at n are exactly the words collected since n's
+// subtree began. Only interesting words — entries of a WordTable — are
+// retained on the stack, as the paper notes, so memory stays proportional
+// to the matches rather than the document.
+func (a *XMLAlerter) detectPresence(root *xmldom.Node, emit func(core.Event)) {
+	if len(a.contains) == 0 && len(a.strict) == 0 {
+		return
+	}
+	type frame struct {
+		subtree []string // interesting (for `contains`) words in the subtree so far
+	}
+	var rec func(n *xmldom.Node) frame
+	rec = func(n *xmldom.Node) frame {
+		if n.Type == xmldom.TextNode {
+			var f frame
+			for _, w := range xmldom.Words(n.Text) {
+				if _, ok := a.contains[w]; ok {
+					f.subtree = append(f.subtree, w)
+				}
+				// Strict words are checked directly by the parent element;
+				// they also count as subtree words for `contains` only if
+				// some contains-table entry wants them, handled above.
+			}
+			return f
+		}
+		var f frame
+		// Direct data children first: they feed both `strict contains` on
+		// this element and the subtree word list.
+		for _, c := range n.Children {
+			cf := rec(c)
+			f.subtree = append(f.subtree, cf.subtree...)
+			if c.Type == xmldom.TextNode {
+				for _, w := range xmldom.Words(c.Text) {
+					if t, ok := a.strict[w]; ok {
+						for _, code := range t[n.Tag] {
+							emit(code)
+						}
+					}
+				}
+			}
+		}
+		// All subtree words against the contains table for this tag.
+		for _, w := range f.subtree {
+			if t, ok := a.contains[w]; ok {
+				for _, code := range t[n.Tag] {
+					emit(code)
+				}
+			}
+		}
+		return f
+	}
+	rec(root)
+}
+
+func (a *XMLAlerter) detectSelfContains(root *xmldom.Node, emit func(core.Event)) {
+	if len(a.selfContains) == 0 {
+		return
+	}
+	seen := make(map[string]bool)
+	root.PostOrder(func(n *xmldom.Node) bool {
+		if n.Type != xmldom.TextNode {
+			return true
+		}
+		for _, w := range xmldom.Words(n.Text) {
+			if seen[w] {
+				continue
+			}
+			if codes, ok := a.selfContains[w]; ok {
+				seen[w] = true
+				for _, c := range codes {
+					emit(c)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// detectChanges raises element change events. On a new document every
+// element is new; on an update the delta classification supplies the new,
+// updated and deleted elements.
+func (a *XMLAlerter) detectChanges(d *Doc, emit func(core.Event)) {
+	if len(a.changes) == 0 {
+		return
+	}
+	newTbl := a.changes[sublang.OpNew]
+	updTbl := a.changes[sublang.OpUpdated]
+	delTbl := a.changes[sublang.OpDeleted]
+	check := func(tbl map[string][]changeCond, n *xmldom.Node) {
+		if tbl == nil {
+			return
+		}
+		conds, ok := tbl[n.Tag]
+		if !ok {
+			return
+		}
+		for _, cc := range conds {
+			if cc.word == "" {
+				emit(cc.code)
+				continue
+			}
+			if cc.strict {
+				for _, c := range n.Children {
+					if c.Type == xmldom.TextNode && xmldom.ContainsWord(c.Text, cc.word) {
+						emit(cc.code)
+						break
+					}
+				}
+			} else if xmldom.ContainsWord(n.TextContent(), cc.word) {
+				emit(cc.code)
+			}
+		}
+	}
+	switch d.Status {
+	case warehouse.StatusNew:
+		if newTbl == nil {
+			return
+		}
+		d.Doc.Root.PreOrder(func(n *xmldom.Node) bool {
+			if n.Type == xmldom.ElementNode {
+				check(newTbl, n)
+			}
+			return true
+		})
+	case warehouse.StatusUpdated:
+		if d.Delta == nil {
+			return
+		}
+		cl := xydiff.Classify(d.Doc, d.Delta)
+		for _, n := range cl.NewElems {
+			check(newTbl, n)
+		}
+		for _, n := range cl.UpdatedElems {
+			check(updTbl, n)
+		}
+		for _, sub := range cl.DeletedSubtrees {
+			sub.PreOrder(func(n *xmldom.Node) bool {
+				if n.Type == xmldom.ElementNode {
+					check(delTbl, n)
+				}
+				return true
+			})
+		}
+	case warehouse.StatusDeleted:
+		if delTbl == nil {
+			return
+		}
+		d.Doc.Root.PreOrder(func(n *xmldom.Node) bool {
+			if n.Type == xmldom.ElementNode {
+				check(delTbl, n)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,183 @@
+// Package baseline implements reference matchers for the Monitoring Query
+// Processor problem, used by the ablation benchmarks of Section 4.1 (the
+// paper reports having considered alternative algorithms before choosing
+// the Atomic Event Sets structure, one of which was exponential in the
+// number of complex events per atomic event).
+//
+// Two baselines are provided:
+//
+//   - Naive: scans every registered complex event and tests set inclusion.
+//     Cost O(Card(C)·m) per document, independent of p.
+//   - Counting: the classical pub/sub counting algorithm over an inverted
+//     index from atomic event to subscribing complex events. Cost
+//     O(p·k) per document plus per-document counter reset bookkeeping.
+//
+// Both expose the same Add/Remove/Match surface as core.Matcher so the
+// property tests can check the three implementations agree on random
+// workloads.
+package baseline
+
+import (
+	"sync"
+
+	"xymon/internal/core"
+)
+
+// Matcher is the common surface of all Monitoring Query Processor
+// implementations (core.Matcher, Naive, Counting).
+type Matcher interface {
+	Add(id core.ComplexID, events []core.Event) error
+	Remove(id core.ComplexID) error
+	Match(s core.EventSet) []core.ComplexID
+	Len() int
+}
+
+// Naive matches by scanning all registered complex events.
+type Naive struct {
+	mu   sync.RWMutex
+	defs map[core.ComplexID]core.EventSet
+}
+
+// NewNaive returns an empty naive matcher.
+func NewNaive() *Naive {
+	return &Naive{defs: make(map[core.ComplexID]core.EventSet)}
+}
+
+// Add registers a complex event.
+func (n *Naive) Add(id core.ComplexID, events []core.Event) error {
+	set := core.Canonical(events)
+	if len(set) == 0 {
+		return core.ErrEmptyComplexEvent
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.defs[id]; dup {
+		return core.ErrDuplicateComplexID
+	}
+	n.defs[id] = set
+	return nil
+}
+
+// Remove unregisters a complex event.
+func (n *Naive) Remove(id core.ComplexID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.defs[id]; !ok {
+		return core.ErrUnknownComplexID
+	}
+	delete(n.defs, id)
+	return nil
+}
+
+// Match returns every complex event contained in s by exhaustive scan.
+func (n *Naive) Match(s core.EventSet) []core.ComplexID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []core.ComplexID
+	for id, set := range n.defs {
+		if s.ContainsAll(set) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Len returns the number of registered complex events.
+func (n *Naive) Len() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.defs)
+}
+
+// Counting matches with the counting algorithm: an inverted index maps each
+// atomic event to the complex events containing it; matching increments a
+// per-complex counter for each event of the document and reports the
+// complex events whose counter reaches their arity.
+type Counting struct {
+	mu    sync.RWMutex
+	defs  map[core.ComplexID]core.EventSet
+	index map[core.Event][]core.ComplexID
+	arity map[core.ComplexID]int
+}
+
+// NewCounting returns an empty counting matcher.
+func NewCounting() *Counting {
+	return &Counting{
+		defs:  make(map[core.ComplexID]core.EventSet),
+		index: make(map[core.Event][]core.ComplexID),
+		arity: make(map[core.ComplexID]int),
+	}
+}
+
+// Add registers a complex event in the inverted index.
+func (c *Counting) Add(id core.ComplexID, events []core.Event) error {
+	set := core.Canonical(events)
+	if len(set) == 0 {
+		return core.ErrEmptyComplexEvent
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.defs[id]; dup {
+		return core.ErrDuplicateComplexID
+	}
+	c.defs[id] = set
+	c.arity[id] = len(set)
+	for _, e := range set {
+		c.index[e] = append(c.index[e], id)
+	}
+	return nil
+}
+
+// Remove unregisters a complex event from the inverted index.
+func (c *Counting) Remove(id core.ComplexID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.defs[id]
+	if !ok {
+		return core.ErrUnknownComplexID
+	}
+	delete(c.defs, id)
+	delete(c.arity, id)
+	for _, e := range set {
+		list := c.index[e]
+		for i, x := range list {
+			if x == id {
+				copy(list[i:], list[i+1:])
+				list = list[:len(list)-1]
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(c.index, e)
+		} else {
+			c.index[e] = list
+		}
+	}
+	return nil
+}
+
+// Match counts per-complex hits over the inverted index. Because incoming
+// sets are canonical (no duplicate events) a complex event of arity m
+// reaches count m exactly when all its events are present.
+func (c *Counting) Match(s core.EventSet) []core.ComplexID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	counts := make(map[core.ComplexID]int)
+	var out []core.ComplexID
+	for _, e := range s {
+		for _, id := range c.index[e] {
+			counts[id]++
+			if counts[id] == c.arity[id] {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// Len returns the number of registered complex events.
+func (c *Counting) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.defs)
+}

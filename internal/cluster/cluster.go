@@ -1,0 +1,283 @@
+// Package cluster distributes the Monitoring Query Processor over the
+// network, realising the two distributions of Section 4.2 across real
+// processes: a Server exposes one subscription-partition block (a frozen
+// core.Compact snapshot) over TCP, and a Client fans each document's
+// atomic event set out to every block and merges the matches. Xyleme uses
+// Corba between cluster nodes; the wire protocol here is a minimal
+// length-prefixed binary exchange over the standard library's net package.
+//
+// Wire protocol (little-endian):
+//
+//	request:  'M' | n u32 | events (u32)*
+//	response: 'R' | n u32 | complex ids (u32)*
+//	          'E' | n u32 | error text (n bytes)
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"xymon/internal/core"
+)
+
+// maxSetLen bounds accepted event-set and result sizes (a million events
+// per document is far beyond any real alert).
+const maxSetLen = 1 << 20
+
+// ErrProtocol reports a malformed exchange.
+var ErrProtocol = errors.New("cluster: protocol error")
+
+// Server serves match requests for one partition block.
+type Server struct {
+	matcher *core.Compact
+	ln      net.Listener
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts a server for the block on the given address ("127.0.0.1:0"
+// picks a free port). It returns immediately; use Addr for the bound
+// address and Close to stop.
+func Serve(addr string, block *core.Compact) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	s := &Server{matcher: block, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for the accept loop.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		set, err := readSet(r, 'M')
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				writeError(w, err)
+				w.Flush()
+			}
+			return
+		}
+		matched := s.matcher.Match(set)
+		ids := make([]uint32, len(matched))
+		for i, id := range matched {
+			ids[i] = uint32(id)
+		}
+		if err := writeFrame(w, 'R', ids); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Client holds connections to every block server and matches against all
+// of them.
+type Client struct {
+	mu    sync.Mutex
+	conns []*blockConn
+}
+
+type blockConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to every block address.
+func Dial(addrs ...string) (*Client, error) {
+	c := &Client{}
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.conns = append(c.conns, &blockConn{
+			conn: conn,
+			r:    bufio.NewReader(conn),
+			w:    bufio.NewWriter(conn),
+		})
+	}
+	return c, nil
+}
+
+// Close closes every block connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, bc := range c.conns {
+		if err := bc.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.conns = nil
+	return first
+}
+
+// Match fans the canonical event set out to every block concurrently and
+// returns the merged complex-event ids.
+func (c *Client) Match(s core.EventSet) ([]core.ComplexID, error) {
+	c.mu.Lock()
+	conns := append([]*blockConn(nil), c.conns...)
+	c.mu.Unlock()
+	if len(conns) == 0 {
+		return nil, errors.New("cluster: client is closed")
+	}
+	results := make([][]core.ComplexID, len(conns))
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for i, bc := range conns {
+		wg.Add(1)
+		go func(i int, bc *blockConn) {
+			defer wg.Done()
+			results[i], errs[i] = bc.match(s)
+		}(i, bc)
+	}
+	wg.Wait()
+	var out []core.ComplexID
+	for i := range conns {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
+	}
+	return out, nil
+}
+
+func (bc *blockConn) match(s core.EventSet) ([]core.ComplexID, error) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	events := make([]uint32, len(s))
+	for i, e := range s {
+		events[i] = uint32(e)
+	}
+	if err := writeFrame(bc.w, 'M', events); err != nil {
+		return nil, err
+	}
+	if err := bc.w.Flush(); err != nil {
+		return nil, err
+	}
+	ids, err := readSetRaw(bc.r, 'R')
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.ComplexID, len(ids))
+	for i, id := range ids {
+		out[i] = core.ComplexID(id)
+	}
+	return out, nil
+}
+
+func writeFrame(w io.Writer, kind byte, values []uint32) error {
+	if _, err := w.Write([]byte{kind}); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(values))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, values)
+}
+
+func writeError(w io.Writer, err error) {
+	msg := []byte(err.Error())
+	w.Write([]byte{'E'})
+	binary.Write(w, binary.LittleEndian, uint32(len(msg)))
+	w.Write(msg)
+}
+
+func readSet(r io.Reader, kind byte) (core.EventSet, error) {
+	raw, err := readSetRaw(r, kind)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]core.Event, len(raw))
+	for i, v := range raw {
+		events[i] = core.Event(v)
+	}
+	return core.Canonical(events), nil
+}
+
+func readSetRaw(r io.Reader, kind byte) ([]uint32, error) {
+	var k [1]byte
+	if _, err := io.ReadFull(r, k[:]); err != nil {
+		return nil, err
+	}
+	if k[0] == 'E' {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("%w: bad error frame", ErrProtocol)
+		}
+		if n > maxSetLen {
+			return nil, fmt.Errorf("%w: oversized error frame", ErrProtocol)
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(r, msg); err != nil {
+			return nil, fmt.Errorf("%w: truncated error frame", ErrProtocol)
+		}
+		return nil, fmt.Errorf("cluster: remote: %s", msg)
+	}
+	if k[0] != kind {
+		return nil, fmt.Errorf("%w: expected frame %q, got %q", ErrProtocol, kind, k[0])
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("%w: truncated length", ErrProtocol)
+	}
+	if n > maxSetLen {
+		return nil, fmt.Errorf("%w: frame of %d values", ErrProtocol, n)
+	}
+	values := make([]uint32, n)
+	if err := binary.Read(r, binary.LittleEndian, values); err != nil {
+		return nil, fmt.Errorf("%w: truncated frame", ErrProtocol)
+	}
+	return values, nil
+}

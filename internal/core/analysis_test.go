@@ -1,0 +1,80 @@
+// Empirical validation of the complexity claims of Section 4.2, using the
+// matcher's probe counters rather than wall-clock time so the test is
+// stable on any machine. External test package: the workloads come from
+// webgen, which itself depends on core.
+package core_test
+
+import (
+	"testing"
+
+	"xymon/internal/core"
+	"xymon/internal/webgen"
+)
+
+func probesPerDoc(t *testing.T, cardA, cardC, m, p int) float64 {
+	t.Helper()
+	w := webgen.GenEventWorkload(77, cardA, cardC, m, p, 256)
+	matcher := core.NewMatcher()
+	if err := w.Load(matcher.Add); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, d := range w.Docs {
+		matcher.Match(d)
+	}
+	st := matcher.Stats()
+	return float64(st.CellProbes) / float64(st.MatchCalls)
+}
+
+// TestProbesLinearInP: the number of cell probes grows linearly with the
+// document's event count p (the Figure 5 claim, in probes).
+func TestProbesLinearInP(t *testing.T) {
+	const (
+		cardA = 20000
+		cardC = 20000
+		m     = 3
+	)
+	p20 := probesPerDoc(t, cardA, cardC, m, 20)
+	p80 := probesPerDoc(t, cardA, cardC, m, 80)
+	ratio := p80 / p20
+	// Linear would be 4.0; superlinearity comes only from longer suffixes
+	// entering subtables. Accept a generous band around linear.
+	if ratio < 2.5 || ratio > 8 {
+		t.Errorf("probes grew by %.2fx from p=20 to p=80 (p20=%.1f p80=%.1f); want roughly linear (~4x)",
+			ratio, p20, p80)
+	}
+}
+
+// TestProbesSublinearInK: multiplying Card(C) (and hence k) by 25 must
+// multiply probes by far less — the Figure 6 logarithmic behaviour. A
+// linear-in-k algorithm (like the counting baseline) would scale by ~25.
+func TestProbesSublinearInK(t *testing.T) {
+	const (
+		cardA = 20000
+		m     = 3
+		p     = 20
+	)
+	small := probesPerDoc(t, cardA, 8000, m, p)   // k = 1.2
+	large := probesPerDoc(t, cardA, 200000, m, p) // k = 30
+	ratio := large / small
+	if ratio > 10 {
+		t.Errorf("probes grew by %.2fx for a 25x k increase (small=%.1f large=%.1f); want logarithmic growth",
+			ratio, small, large)
+	}
+}
+
+// TestProbesIndependentOfM: the Section 4.2 claim that m does not affect
+// the cost (for p >= m).
+func TestProbesIndependentOfM(t *testing.T) {
+	const (
+		cardA = 20000
+		cardC = 20000
+		p     = 20
+	)
+	m2 := probesPerDoc(t, cardA, cardC, 2, p)
+	m8 := probesPerDoc(t, cardA, cardC, 8, p)
+	ratio := m8 / m2
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("probes changed by %.2fx from m=2 to m=8 (m2=%.1f m8=%.1f); want roughly flat",
+			ratio, m2, m8)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestCompactMatchesPaperExample(t *testing.T) {
+	m := figure4Matcher(t)
+	c := Freeze(m)
+	got := c.Match(EventSet{1, 3, 5})
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	want := []ComplexID{3, 4, 10, 15}
+	if !equalIDs(got, want) {
+		t.Errorf("Compact.Match({a1,a3,a5}) = %v, want %v", got, want)
+	}
+	if c.Len() != m.Len() {
+		t.Errorf("Len = %d, want %d", c.Len(), m.Len())
+	}
+}
+
+// TestCompactAgreesWithMatcher freezes random structures and cross-checks
+// every match result against the live matcher.
+func TestCompactAgreesWithMatcher(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		universe := 40 + rng.Intn(150)
+		m := NewMatcher()
+		n := 1 + rng.Intn(400)
+		for id := ComplexID(0); int(id) < n; id++ {
+			arity := 1 + rng.Intn(5)
+			events := make([]Event, arity)
+			for i := range events {
+				events[i] = Event(rng.Intn(universe))
+			}
+			if err := m.Add(id, events); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+		}
+		c := Freeze(m)
+		for doc := 0; doc < 30; doc++ {
+			s := randomSet(rng, 20, universe)
+			want := sortedMatch(m, s)
+			got := c.Match(s)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if !equalIDs(got, want) {
+				t.Fatalf("trial %d: Compact.Match(%v) = %v, live = %v", trial, s, got, want)
+			}
+		}
+	}
+}
+
+func TestCompactEmpty(t *testing.T) {
+	c := Freeze(NewMatcher())
+	if got := c.Match(EventSet{1, 2, 3}); len(got) != 0 {
+		t.Errorf("empty Compact matched %v", got)
+	}
+	if c.Len() != 0 || c.MemoryEstimate() != 0 {
+		t.Errorf("Len=%d Mem=%d", c.Len(), c.MemoryEstimate())
+	}
+}
+
+func TestCompactIsSmallerThanLiveStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	m := NewMatcher()
+	for id := ComplexID(0); id < 5000; id++ {
+		events := []Event{
+			Event(rng.Intn(2000)), Event(rng.Intn(2000)), Event(rng.Intn(2000)),
+		}
+		if err := m.Add(id, events); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	c := Freeze(m)
+	if c.MemoryEstimate() >= m.MemoryEstimate() {
+		t.Errorf("Compact %d B >= live %d B", c.MemoryEstimate(), m.MemoryEstimate())
+	}
+}
+
+func TestCompactMatchAppend(t *testing.T) {
+	m := figure4Matcher(t)
+	c := Freeze(m)
+	buf := make([]ComplexID, 0, 16)
+	out := c.MatchAppend(buf, EventSet{1, 3, 5})
+	if len(out) != 4 || cap(out) != cap(buf) {
+		t.Errorf("MatchAppend = %v (cap %d)", out, cap(out))
+	}
+}

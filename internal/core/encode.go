@@ -1,0 +1,153 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The wire format of a frozen matcher: how a subscription-base snapshot
+// would ship to the partitioned Monitoring Query Processors of the
+// Section 4.2 distribution discussion. Little-endian throughout:
+//
+//	magic "XYC1" | complex u32 | rootLen u32
+//	| nEntries u32 | entries (event u32, childOff i32, childLen i32, markOff i32, markLen i32)*
+//	| nMarks u32 | marks (u32)*
+
+var compactMagic = [4]byte{'X', 'Y', 'C', '1'}
+
+// ErrBadSnapshot is returned when decoding input that is not a valid
+// frozen-matcher snapshot.
+var ErrBadSnapshot = errors.New("core: invalid matcher snapshot")
+
+// WriteTo serialises the frozen matcher.
+func (c *Compact) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+	if _, err := cw.Write(compactMagic[:]); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(c.complex)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(c.rootLen)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(len(c.entries))); err != nil {
+		return cw.n, err
+	}
+	for _, e := range c.entries {
+		if err := write(uint32(e.event)); err != nil {
+			return cw.n, err
+		}
+		for _, v := range []int32{e.childOff, e.childLen, e.markOff, e.markLen} {
+			if err := write(v); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := write(uint32(len(c.marks))); err != nil {
+		return cw.n, err
+	}
+	for _, m := range c.marks {
+		if err := write(uint32(m)); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadCompact deserialises a frozen matcher written by WriteTo.
+func ReadCompact(r io.Reader) (*Compact, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if magic != compactMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, magic[:])
+	}
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var complex32, rootLen, nEntries uint32
+	if err := read(&complex32); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if err := read(&rootLen); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if err := read(&nEntries); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	const maxEntries = 1 << 28 // refuse absurd allocations from corrupt input
+	if nEntries > maxEntries || rootLen > nEntries {
+		return nil, fmt.Errorf("%w: %d entries, root %d", ErrBadSnapshot, nEntries, rootLen)
+	}
+	c := &Compact{
+		complex: int(complex32),
+		rootLen: int32(rootLen),
+		entries: make([]compactEntry, nEntries),
+	}
+	for i := range c.entries {
+		var ev uint32
+		if err := read(&ev); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		e := &c.entries[i]
+		e.event = Event(ev)
+		for _, p := range []*int32{&e.childOff, &e.childLen, &e.markOff, &e.markLen} {
+			if err := read(p); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+		}
+	}
+	var nMarks uint32
+	if err := read(&nMarks); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if nMarks > maxEntries {
+		return nil, fmt.Errorf("%w: %d marks", ErrBadSnapshot, nMarks)
+	}
+	c.marks = make([]ComplexID, nMarks)
+	for i := range c.marks {
+		var m uint32
+		if err := read(&m); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		c.marks[i] = ComplexID(m)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// validate checks internal offsets so a corrupt snapshot cannot cause
+// out-of-range panics during Match.
+func (c *Compact) validate() error {
+	n := int32(len(c.entries))
+	nm := int32(len(c.marks))
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.childLen < 0 || e.markLen < 0 {
+			return fmt.Errorf("%w: negative extent at entry %d", ErrBadSnapshot, i)
+		}
+		if e.childOff >= 0 && (e.childOff > n || e.childOff+e.childLen > n) {
+			return fmt.Errorf("%w: child extent out of range at entry %d", ErrBadSnapshot, i)
+		}
+		if e.markOff < 0 || e.markOff+e.markLen > nm {
+			return fmt.Errorf("%w: mark extent out of range at entry %d", ErrBadSnapshot, i)
+		}
+	}
+	return nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

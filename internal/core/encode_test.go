@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	m := figure4Matcher(t)
+	c := Freeze(m)
+	var buf bytes.Buffer
+	n, err := c.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	c2, err := ReadCompact(&buf)
+	if err != nil {
+		t.Fatalf("ReadCompact: %v", err)
+	}
+	if c2.Len() != c.Len() {
+		t.Errorf("Len = %d, want %d", c2.Len(), c.Len())
+	}
+	got := c2.Match(EventSet{1, 3, 5})
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !equalIDs(got, []ComplexID{3, 4, 10, 15}) {
+		t.Errorf("decoded Match = %v", got)
+	}
+}
+
+func TestSnapshotRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m := NewMatcher()
+	for id := ComplexID(0); id < 2000; id++ {
+		events := make([]Event, 1+rng.Intn(6))
+		for i := range events {
+			events[i] = Event(rng.Intn(500))
+		}
+		if err := m.Add(id, events); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := Freeze(m).WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	c, err := ReadCompact(&buf)
+	if err != nil {
+		t.Fatalf("ReadCompact: %v", err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		s := randomSet(rng, 20, 500)
+		want := sortedMatch(m, s)
+		got := c.Match(s)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if !equalIDs(got, want) {
+			t.Fatalf("decoded Match(%v) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+// TestSnapshotCorruptionRejected injects corruption at every byte offset
+// and verifies decode fails cleanly (no panic) or yields a validated
+// structure that can still match safely.
+func TestSnapshotCorruptionRejected(t *testing.T) {
+	m := figure4Matcher(t)
+	var buf bytes.Buffer
+	if _, err := Freeze(m).WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	data := buf.Bytes()
+	probe := EventSet{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 99, 101}
+	for off := 0; off < len(data); off++ {
+		corrupt := append([]byte(nil), data...)
+		corrupt[off] ^= 0xFF
+		c, err := ReadCompact(bytes.NewReader(corrupt))
+		if err != nil {
+			continue // rejected: fine
+		}
+		// Accepted: matching must not panic.
+		c.Match(probe)
+	}
+	// Truncations must be rejected too.
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := ReadCompact(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := ReadCompact(bytes.NewReader([]byte("not a snapshot"))); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("garbage decode = %v, want ErrBadSnapshot", err)
+	}
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCompact checks snapshot decoding never panics and that any
+// accepted snapshot can be matched against safely.
+func FuzzReadCompact(f *testing.F) {
+	m := NewMatcher()
+	m.Add(1, []Event{1, 2})
+	m.Add(2, []Event{2, 3, 4})
+	var buf bytes.Buffer
+	Freeze(m).WriteTo(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("XYC1 garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCompact(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		c.Match(EventSet{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	})
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+// Matching statistics exposed for the experiments of Section 4.2.
+type Stats struct {
+	Complex     int // registered complex events
+	Atomic      int // distinct atomic events present in at least one complex event
+	Tables      int // hash tables in the structure (root + prefix tables)
+	Cells       int // cells across all tables
+	Marks       int // marked cells (== Complex while ids are unique)
+	MaxDepth    int // longest prefix chain (== largest m)
+	MatchCalls  uint64
+	CellProbes  uint64
+	MatchedSets uint64
+}
+
+var (
+	// ErrEmptyComplexEvent is returned when registering a complex event
+	// with no atomic events. The paper disallows it implicitly: a where
+	// clause has at least one (strong) atomic condition.
+	ErrEmptyComplexEvent = errors.New("core: complex event must contain at least one atomic event")
+	// ErrDuplicateComplexID is returned when a ComplexID is registered twice.
+	ErrDuplicateComplexID = errors.New("core: complex event id already registered")
+	// ErrUnknownComplexID is returned by Remove for an id that is not registered.
+	ErrUnknownComplexID = errors.New("core: unknown complex event id")
+)
+
+// cell is one entry of a hash table of the structure. Its marks list the
+// complex events exactly equal to the event prefix leading to the cell; its
+// child table, when non-nil, indexes the next event of longer complex
+// events sharing the prefix.
+type cell struct {
+	marks []ComplexID
+	child table
+}
+
+// table maps the next atomic event of a prefix to its cell. The root table
+// H maps first events; table H_{a...b} maps the events following prefix
+// a...b, exactly as in Figure 4 of the paper.
+type table map[Event]*cell
+
+// Matcher is the Monitoring Query Processor data structure. It supports
+// concurrent Match calls and dynamic Add/Remove of complex events (Section
+// 4.1 notes the subscription base changes while the system runs).
+//
+// The zero value is not usable; call NewMatcher.
+type Matcher struct {
+	mu     sync.RWMutex
+	root   table
+	defs   map[ComplexID]EventSet // registered complex events, canonical
+	degree map[Event]int          // per-event membership count (the paper's k, per event)
+	cells  int
+	tables int
+
+	statMu      sync.Mutex
+	matchCalls  uint64
+	cellProbes  uint64
+	matchedSets uint64
+}
+
+// NewMatcher returns an empty Monitoring Query Processor.
+func NewMatcher() *Matcher {
+	return &Matcher{
+		root:   make(table),
+		defs:   make(map[ComplexID]EventSet),
+		degree: make(map[Event]int),
+		tables: 1,
+	}
+}
+
+// Add registers the complex event id as the conjunction of the given atomic
+// events. The input need not be canonical. Add is safe for concurrent use
+// with Match.
+func (m *Matcher) Add(id ComplexID, events []Event) error {
+	set := Canonical(events)
+	if len(set) == 0 {
+		return ErrEmptyComplexEvent
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.defs[id]; dup {
+		return ErrDuplicateComplexID
+	}
+	t := m.root
+	var c *cell
+	for i, e := range set {
+		c = t[e]
+		if c == nil {
+			c = &cell{}
+			t[e] = c
+			m.cells++
+		}
+		if i == len(set)-1 {
+			break
+		}
+		if c.child == nil {
+			c.child = make(table)
+			m.tables++
+		}
+		t = c.child
+	}
+	c.marks = append(c.marks, id)
+	m.defs[id] = set
+	for _, e := range set {
+		m.degree[e]++
+	}
+	return nil
+}
+
+// Remove unregisters a complex event. Empty tables and unmarked chain cells
+// are pruned so that long-running systems with subscription churn do not
+// leak structure.
+func (m *Matcher) Remove(id ComplexID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set, ok := m.defs[id]
+	if !ok {
+		return ErrUnknownComplexID
+	}
+	delete(m.defs, id)
+	for _, e := range set {
+		if m.degree[e] == 1 {
+			delete(m.degree, e)
+		} else {
+			m.degree[e]--
+		}
+	}
+	m.removePath(m.root, set, id)
+	return nil
+}
+
+// removePath walks the prefix chain of set, removes id from the final
+// cell's marks and prunes now-useless cells and tables on the way back up.
+// It reports whether the table t became prunable (empty).
+func (m *Matcher) removePath(t table, set EventSet, id ComplexID) bool {
+	e := set[0]
+	c := t[e]
+	if c == nil {
+		return false
+	}
+	if len(set) == 1 {
+		c.marks = deleteMark(c.marks, id)
+	} else if c.child != nil {
+		if m.removePath(c.child, set[1:], id) {
+			c.child = nil
+			m.tables--
+		}
+	}
+	if len(c.marks) == 0 && c.child == nil {
+		delete(t, e)
+		m.cells--
+	}
+	return len(t) == 0
+}
+
+func deleteMark(marks []ComplexID, id ComplexID) []ComplexID {
+	for i, m := range marks {
+		if m == id {
+			copy(marks[i:], marks[i+1:])
+			return marks[:len(marks)-1]
+		}
+	}
+	return marks
+}
+
+// Definition returns the canonical event set registered under id, or nil.
+func (m *Matcher) Definition(id ComplexID) EventSet {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.defs[id].Clone()
+}
+
+// Degree returns the number of registered complex events that contain e —
+// the per-event value of the paper's parameter k.
+func (m *Matcher) Degree(e Event) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.degree[e]
+}
+
+// Match returns the ids of every registered complex event whose atomic
+// events are all contained in the canonical set s. This is the algorithm
+// "Notif" of Section 4.2: enter the root table with each event of s; inside
+// a table, probe every remaining event, collect marks, and recurse into
+// child tables with the remaining suffix.
+//
+// The result order is unspecified. Match never returns duplicates because
+// each complex event is marked on exactly one prefix chain, and a chain is
+// traversed at most once per strictly increasing suffix.
+func (m *Matcher) Match(s EventSet) []ComplexID {
+	return m.MatchAppend(nil, s)
+}
+
+// MatchAppend appends matches to dst and returns the extended slice,
+// letting callers on the hot path reuse one buffer across documents.
+func (m *Matcher) MatchAppend(dst []ComplexID, s EventSet) []ComplexID {
+	m.mu.RLock()
+	probes := uint64(0)
+	dst = m.notif(dst, m.root, s, &probes)
+	m.mu.RUnlock()
+
+	m.statMu.Lock()
+	m.matchCalls++
+	m.cellProbes += probes
+	if len(dst) > 0 {
+		m.matchedSets++
+	}
+	m.statMu.Unlock()
+	return dst
+}
+
+// notif intersects the incoming suffix with a table, probing whichever
+// side is smaller: the suffix against the hash table (the paper's
+// formulation), or — when the table is smaller, the common case in deep
+// H_prefix tables — the table entries against the sorted suffix. The
+// second direction is what keeps the observed cost linear in p: a visit
+// to a tiny subtable costs O(|table|), not O(remaining suffix).
+func (m *Matcher) notif(dst []ComplexID, t table, s EventSet, probes *uint64) []ComplexID {
+	if len(t) < len(s) {
+		for e, c := range t {
+			*probes++
+			i := suffixIndex(s, e)
+			if i < 0 {
+				continue
+			}
+			dst = append(dst, c.marks...)
+			if c.child != nil && i+1 < len(s) {
+				dst = m.notif(dst, c.child, s[i+1:], probes)
+			}
+		}
+		return dst
+	}
+	for i, e := range s {
+		*probes++
+		c := t[e]
+		if c == nil {
+			continue
+		}
+		dst = append(dst, c.marks...)
+		if c.child != nil && i+1 < len(s) {
+			dst = m.notif(dst, c.child, s[i+1:], probes)
+		}
+	}
+	return dst
+}
+
+// suffixIndex binary-searches the canonical set for e, returning its index
+// or -1.
+func suffixIndex(s EventSet, e Event) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < e {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == e {
+		return lo
+	}
+	return -1
+}
+
+// Matches reports whether the canonical set s triggers at least one complex
+// event, without materialising the result list.
+func (m *Matcher) Matches(s EventSet) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.any(m.root, s)
+}
+
+func (m *Matcher) any(t table, s EventSet) bool {
+	if len(t) < len(s) {
+		for e, c := range t {
+			i := suffixIndex(s, e)
+			if i < 0 {
+				continue
+			}
+			if len(c.marks) > 0 {
+				return true
+			}
+			if c.child != nil && i+1 < len(s) && m.any(c.child, s[i+1:]) {
+				return true
+			}
+		}
+		return false
+	}
+	for i, e := range s {
+		c := t[e]
+		if c == nil {
+			continue
+		}
+		if len(c.marks) > 0 {
+			return true
+		}
+		if c.child != nil && i+1 < len(s) && m.any(c.child, s[i+1:]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of registered complex events.
+func (m *Matcher) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.defs)
+}
+
+// Stats returns a snapshot of structural and matching statistics.
+func (m *Matcher) Stats() Stats {
+	m.mu.RLock()
+	st := Stats{
+		Complex: len(m.defs),
+		Atomic:  len(m.degree),
+		Tables:  m.tables,
+		Cells:   m.cells,
+	}
+	marks := 0
+	maxDepth := 0
+	for _, set := range m.defs {
+		marks++
+		if len(set) > maxDepth {
+			maxDepth = len(set)
+		}
+	}
+	st.Marks = marks
+	st.MaxDepth = maxDepth
+	m.mu.RUnlock()
+
+	m.statMu.Lock()
+	st.MatchCalls = m.matchCalls
+	st.CellProbes = m.cellProbes
+	st.MatchedSets = m.matchedSets
+	m.statMu.Unlock()
+	return st
+}
+
+// MemoryEstimate returns an estimate in bytes of the heap consumed by the
+// structure: cells, marks, definitions and table buckets. It supports the
+// paper's 500 MB sizing discussion (Section 4.2) without depending on the
+// runtime's allocator internals.
+func (m *Matcher) MemoryEstimate() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	const (
+		cellSize       = 8 /*map bucket share*/ + 4 /*key*/ + 8 /*ptr*/ + 24 /*marks header*/ + 8 /*child*/
+		markSize       = 4
+		perTableHeader = 48
+	)
+	var bytes int64
+	bytes += int64(m.tables) * perTableHeader
+	bytes += int64(m.cells) * cellSize
+	for _, set := range m.defs {
+		bytes += markSize
+		bytes += int64(len(set))*4 + 24 // retained definition
+	}
+	return bytes
+}

@@ -1,0 +1,95 @@
+package core
+
+import "sync"
+
+// Partitioned splits the subscription base across several independent
+// matchers, the "Memory" distribution of Section 4.2: each block of the
+// partition holds a smaller structure and a document's event set is matched
+// against every block. Within one process this bounds per-structure size
+// and lets blocks be matched in parallel; across machines each block would
+// live on its own host.
+//
+// The complementary "Processing speed" distribution — splitting the flow of
+// documents — needs no dedicated structure: Matcher.Match is safe for
+// concurrent use, so independent goroutines (or machines holding replicas)
+// simply share the flow.
+type Partitioned struct {
+	blocks   []*Matcher
+	parallel bool
+}
+
+// NewPartitioned creates a subscription-partitioned processor with n blocks
+// (n must be at least 1). When parallel is true, Match fans out across
+// blocks with one goroutine per block.
+func NewPartitioned(n int, parallel bool) *Partitioned {
+	if n < 1 {
+		n = 1
+	}
+	p := &Partitioned{blocks: make([]*Matcher, n), parallel: parallel}
+	for i := range p.blocks {
+		p.blocks[i] = NewMatcher()
+	}
+	return p
+}
+
+// Blocks returns the number of partition blocks.
+func (p *Partitioned) Blocks() int { return len(p.blocks) }
+
+func (p *Partitioned) block(id ComplexID) *Matcher {
+	return p.blocks[int(id)%len(p.blocks)]
+}
+
+// Add registers a complex event; the block is chosen by hashing the id so
+// the partition stays balanced under churn.
+func (p *Partitioned) Add(id ComplexID, events []Event) error {
+	return p.block(id).Add(id, events)
+}
+
+// Remove unregisters a complex event.
+func (p *Partitioned) Remove(id ComplexID) error {
+	return p.block(id).Remove(id)
+}
+
+// Match returns all complex events contained in s across every block.
+func (p *Partitioned) Match(s EventSet) []ComplexID {
+	if !p.parallel || len(p.blocks) == 1 {
+		var out []ComplexID
+		for _, b := range p.blocks {
+			out = b.MatchAppend(out, s)
+		}
+		return out
+	}
+	results := make([][]ComplexID, len(p.blocks))
+	var wg sync.WaitGroup
+	for i, b := range p.blocks {
+		wg.Add(1)
+		go func(i int, b *Matcher) {
+			defer wg.Done()
+			results[i] = b.Match(s)
+		}(i, b)
+	}
+	wg.Wait()
+	var out []ComplexID
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// Len returns the total number of registered complex events.
+func (p *Partitioned) Len() int {
+	n := 0
+	for _, b := range p.blocks {
+		n += b.Len()
+	}
+	return n
+}
+
+// MemoryEstimate sums the per-block structure estimates.
+func (p *Partitioned) MemoryEstimate() int64 {
+	var total int64
+	for _, b := range p.blocks {
+		total += b.MemoryEstimate()
+	}
+	return total
+}

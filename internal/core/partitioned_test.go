@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestPartitionedMatchesSingleMatcher(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		for _, blocks := range []int{1, 2, 7} {
+			rng := rand.New(rand.NewSource(13))
+			single := NewMatcher()
+			part := NewPartitioned(blocks, parallel)
+			const universe = 80
+			for id := ComplexID(0); id < 400; id++ {
+				arity := 1 + rng.Intn(4)
+				events := make([]Event, arity)
+				for i := range events {
+					events[i] = Event(rng.Intn(universe))
+				}
+				if err := single.Add(id, events); err != nil {
+					t.Fatalf("single.Add: %v", err)
+				}
+				if err := part.Add(id, events); err != nil {
+					t.Fatalf("part.Add: %v", err)
+				}
+			}
+			for doc := 0; doc < 50; doc++ {
+				s := randomSet(rng, 20, universe)
+				want := sortedMatch(single, s)
+				got := part.Match(s)
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if !equalIDs(got, want) {
+					t.Fatalf("blocks=%d parallel=%v: Match(%v) = %v, want %v",
+						blocks, parallel, s, got, want)
+				}
+			}
+			if part.Len() != single.Len() {
+				t.Errorf("Len = %d, want %d", part.Len(), single.Len())
+			}
+		}
+	}
+}
+
+func TestPartitionedRemove(t *testing.T) {
+	p := NewPartitioned(3, false)
+	if err := p.Add(1, []Event{1, 2}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := p.Add(2, []Event{2, 3}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := p.Remove(1); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	got := p.Match(EventSet{1, 2, 3})
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("Match = %v, want [2]", got)
+	}
+	if err := p.Remove(1); err != ErrUnknownComplexID {
+		t.Errorf("second Remove = %v, want ErrUnknownComplexID", err)
+	}
+}
+
+func TestPartitionedClampsBlockCount(t *testing.T) {
+	p := NewPartitioned(0, false)
+	if p.Blocks() != 1 {
+		t.Errorf("Blocks = %d, want 1", p.Blocks())
+	}
+	if p.MemoryEstimate() < 0 {
+		t.Error("MemoryEstimate should be non-negative")
+	}
+}

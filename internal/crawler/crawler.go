@@ -1,0 +1,321 @@
+// Package crawler simulates the acquisition and refresh module of Xyleme
+// (Section 2.1): it decides when to (re)read each page of a set of
+// synthetic sites, fetches the due pages, commits them to the warehouse
+// (which detects their change status and computes deltas) and hands the
+// resulting documents to the subscription system. Refresh statements from
+// subscriptions boost the refresh rate of the pages they mention, which is
+// how the paper's current implementation honours them (Section 2.2).
+package crawler
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"xymon/internal/alerter"
+	"xymon/internal/sublang"
+	"xymon/internal/warehouse"
+	"xymon/internal/webgen"
+)
+
+// Sink receives each fetched document after it is committed to the
+// warehouse — normally the subscription manager's ProcessDoc.
+type Sink func(*alerter.Doc)
+
+// Stats counts crawl activity.
+type Stats struct {
+	Fetches   uint64
+	New       uint64
+	Updated   uint64
+	Unchanged uint64
+	Deleted   uint64
+	// Discovered counts pages found by following links rather than being
+	// registered up front.
+	Discovered uint64
+}
+
+type pageState struct {
+	url     string
+	site    *webgen.Site
+	html    bool
+	period  time.Duration // refresh period
+	pinned  bool          // period fixed by a refresh hint; no adaptation
+	nextDue time.Time
+	// changeEvery is how often the remote page advances a version.
+	changeEvery time.Duration
+	birth       time.Time
+}
+
+// Crawler drives the fetch loop over a virtual clock.
+type Crawler struct {
+	mu    sync.Mutex
+	store *warehouse.Store
+	sink  Sink
+	clock func() time.Time
+	pages map[string]*pageState
+	sites []*webgen.Site
+	stats Stats
+
+	// DefaultPeriod is the refresh period of pages with no hints.
+	DefaultPeriod time.Duration
+	// ChangeEvery is how often synthetic pages change remotely.
+	ChangeEvery time.Duration
+	// Adaptive enables change-rate estimation: pages found updated are
+	// revisited sooner, unchanged pages decay toward MaxPeriod — the
+	// "estimated change rate" criterion of the acquisition module
+	// (Section 2.1 and [19]). Refresh-hinted pages are never slowed down.
+	Adaptive bool
+	// MinPeriod / MaxPeriod bound the adaptive refresh period.
+	MinPeriod time.Duration
+	MaxPeriod time.Duration
+}
+
+// New returns a crawler committing to store and dispatching to sink.
+func New(store *warehouse.Store, sink Sink, clock func() time.Time) *Crawler {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Crawler{
+		store:         store,
+		sink:          sink,
+		clock:         clock,
+		pages:         make(map[string]*pageState),
+		DefaultPeriod: 7 * 24 * time.Hour,
+		ChangeEvery:   24 * time.Hour,
+		MinPeriod:     time.Hour,
+		MaxPeriod:     30 * 24 * time.Hour,
+	}
+}
+
+// AddSite registers every page of a synthetic site; pages become due
+// immediately (discovery fetch).
+func (c *Crawler) AddSite(site *webgen.Site) {
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sites = append(c.sites, site)
+	for _, url := range site.XMLURLs() {
+		c.pages[url] = &pageState{
+			url: url, site: site, period: c.DefaultPeriod,
+			nextDue: now, changeEvery: c.ChangeEvery, birth: now,
+		}
+	}
+	for _, url := range site.HTMLURLs() {
+		c.pages[url] = &pageState{
+			url: url, site: site, html: true, period: c.DefaultPeriod,
+			nextDue: now, changeEvery: c.ChangeEvery, birth: now,
+		}
+	}
+}
+
+// SetSink replaces the document sink — e.g. to route fetched documents
+// through a flow.Runner worker pool instead of processing them inline.
+func (c *Crawler) SetSink(sink Sink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sink = sink
+}
+
+// ApplyRefreshHints tightens the refresh period of hinted pages — the
+// paper's "subscriptions influence the refreshing of pages by adding
+// importance to the pages they explicitly mention".
+func (c *Crawler) ApplyRefreshHints(hints map[string]sublang.Frequency) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for url, freq := range hints {
+		if p, ok := c.pages[url]; ok && freq.Duration() < p.period {
+			p.period = freq.Duration()
+			p.pinned = true
+		}
+	}
+}
+
+// remoteVersion computes how many times the page changed since discovery.
+func (p *pageState) remoteVersion(now time.Time) int {
+	if p.changeEvery <= 0 {
+		return 1
+	}
+	return 1 + int(now.Sub(p.birth)/p.changeEvery)
+}
+
+// Step fetches every page whose refresh time has come, in URL order for
+// determinism, and returns how many pages were fetched.
+func (c *Crawler) Step() int {
+	now := c.clock()
+	c.mu.Lock()
+	var due []*pageState
+	for _, p := range c.pages {
+		if !p.nextDue.After(now) {
+			due = append(due, p)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].url < due[j].url })
+	for _, p := range due {
+		p.nextDue = now.Add(p.period)
+	}
+	c.mu.Unlock()
+
+	for _, p := range due {
+		c.fetch(p, now)
+	}
+	return len(due)
+}
+
+// FetchAll forces an immediate fetch of every page, regardless of
+// schedule; examples use it to drive deterministic rounds.
+func (c *Crawler) FetchAll() int {
+	now := c.clock()
+	c.mu.Lock()
+	all := make([]*pageState, 0, len(c.pages))
+	for _, p := range c.pages {
+		p.nextDue = now.Add(p.period)
+		all = append(all, p)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].url < all[j].url })
+	c.mu.Unlock()
+	for _, p := range all {
+		c.fetch(p, now)
+	}
+	return len(all)
+}
+
+func (c *Crawler) fetch(p *pageState, now time.Time) {
+	version := p.remoteVersion(now)
+	if !p.site.Alive(p.url, version) {
+		c.handleGone(p)
+		return
+	}
+	var res *warehouse.CommitResult
+	var err error
+	var content []byte
+	if p.html {
+		content = p.site.FetchHTML(p.url, version)
+		res, err = c.store.CommitHTML(p.url, content)
+	} else {
+		doc := p.site.FetchXML(p.url, version)
+		spec := p.site.Spec()
+		res, err = c.store.CommitXML(p.url, spec.DTD, spec.Domain, doc)
+	}
+	if err != nil {
+		return
+	}
+	if p.html {
+		c.discover(content, now)
+	}
+	c.mu.Lock()
+	c.stats.Fetches++
+	switch res.Status {
+	case warehouse.StatusNew:
+		c.stats.New++
+	case warehouse.StatusUpdated:
+		c.stats.Updated++
+	case warehouse.StatusUnchanged:
+		c.stats.Unchanged++
+	}
+	if c.Adaptive && !p.pinned {
+		// Multiplicative change-rate tracking: revisit changing pages
+		// sooner, let stable ones decay toward MaxPeriod.
+		switch res.Status {
+		case warehouse.StatusUpdated:
+			p.period = clampPeriod(p.period*2/3, c.MinPeriod, c.MaxPeriod)
+		case warehouse.StatusUnchanged:
+			p.period = clampPeriod(p.period*3/2, c.MinPeriod, c.MaxPeriod)
+		}
+		p.nextDue = now.Add(p.period)
+	}
+	sink := c.sink
+	c.mu.Unlock()
+	if sink != nil {
+		sink(&alerter.Doc{
+			Meta:    res.Meta,
+			Status:  res.Status,
+			Doc:     res.Doc,
+			Delta:   res.Delta,
+			Content: content,
+		})
+	}
+}
+
+func clampPeriod(d, min, max time.Duration) time.Duration {
+	if d < min {
+		return min
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// Period reports the current refresh period of a page (0 when unknown);
+// the adaptive-refresh tests observe convergence through it.
+func (c *Crawler) Period(url string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.pages[url]; ok {
+		return p.period
+	}
+	return 0
+}
+
+// discover registers pages found through HTML links — the way the real
+// crawler grows its URL frontier. Newly discovered pages become due
+// immediately.
+func (c *Crawler) discover(content []byte, now time.Time) {
+	links := webgen.ExtractLinks(content)
+	if len(links) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, url := range links {
+		if _, known := c.pages[url]; known {
+			continue
+		}
+		for _, site := range c.sites {
+			if !site.Owns(url) {
+				continue
+			}
+			c.pages[url] = &pageState{
+				url: url, site: site, html: site.IsHTML(url),
+				period: c.DefaultPeriod, nextDue: now,
+				changeEvery: c.ChangeEvery, birth: now,
+			}
+			c.stats.Discovered++
+			break
+		}
+	}
+}
+
+// handleGone processes a page that disappeared from its site: the
+// warehouse entry is dropped and a deleted-status document (carrying the
+// last warehoused version, so element-level `deleted` conditions can
+// still inspect it) flows to the sink. The page leaves the crawl schedule.
+func (c *Crawler) handleGone(p *pageState) {
+	res, err := c.store.Delete(p.url)
+	c.mu.Lock()
+	delete(c.pages, p.url)
+	if err == nil {
+		c.stats.Fetches++
+		c.stats.Deleted++
+	}
+	sink := c.sink
+	c.mu.Unlock()
+	if err != nil || sink == nil {
+		return
+	}
+	sink(&alerter.Doc{Meta: res.Meta, Status: warehouse.StatusDeleted, Doc: res.Doc})
+}
+
+// Stats snapshots crawl counters.
+func (c *Crawler) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Pages returns the number of known pages.
+func (c *Crawler) Pages() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pages)
+}

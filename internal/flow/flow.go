@@ -1,0 +1,97 @@
+// Package flow runs the document flow through the notification chain with
+// a pool of workers. It realises in-process the paper's two scalability
+// mechanisms: the alerters "use different threads for input and output"
+// (Section 6.1) and the flow of documents can be split between several
+// Monitoring Query Processors (Section 4.2, "Processing speed"
+// distribution). Matching is read-mostly, so workers share one processor;
+// across machines each worker would hold a replica.
+package flow
+
+import (
+	"errors"
+	"sync"
+
+	"xymon/internal/alerter"
+)
+
+// Handler processes one document; typically manager.Manager.ProcessDoc.
+type Handler func(*alerter.Doc) int
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("flow: runner is closed")
+
+// Runner is a fixed-size worker pool over a buffered document queue.
+type Runner struct {
+	handler Handler
+	queue   chan *alerter.Doc
+	wg      sync.WaitGroup
+
+	mu            sync.Mutex
+	closed        bool
+	docs          uint64
+	notifications uint64
+}
+
+// NewRunner starts workers goroutines draining a queue of the given
+// capacity into handler.
+func NewRunner(workers, capacity int, handler Handler) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &Runner{
+		handler: handler,
+		queue:   make(chan *alerter.Doc, capacity),
+	}
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.work()
+	}
+	return r
+}
+
+func (r *Runner) work() {
+	defer r.wg.Done()
+	for d := range r.queue {
+		n := r.handler(d)
+		r.mu.Lock()
+		r.docs++
+		r.notifications += uint64(n)
+		r.mu.Unlock()
+	}
+}
+
+// Submit enqueues a document, blocking while the queue is full — the
+// back-pressure that keeps a fast crawler from overrunning the processor.
+func (r *Runner) Submit(d *alerter.Doc) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.mu.Unlock()
+	r.queue <- d
+	return nil
+}
+
+// Close stops accepting documents and waits for the queue to drain.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.queue)
+	r.wg.Wait()
+}
+
+// Stats returns documents processed and notifications produced so far.
+func (r *Runner) Stats() (docs, notifications uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.docs, r.notifications
+}

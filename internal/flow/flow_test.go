@@ -1,0 +1,52 @@
+package flow
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"xymon/internal/alerter"
+	"xymon/internal/warehouse"
+)
+
+func TestRunnerProcessesAll(t *testing.T) {
+	var handled atomic.Int64
+	r := NewRunner(4, 16, func(d *alerter.Doc) int {
+		handled.Add(1)
+		return 2
+	})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := r.Submit(&alerter.Doc{Meta: warehouse.Metadata{URL: "u"}}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	r.Close()
+	if handled.Load() != n {
+		t.Errorf("handled = %d, want %d", handled.Load(), n)
+	}
+	docs, notifs := r.Stats()
+	if docs != n || notifs != 2*n {
+		t.Errorf("stats = %d docs, %d notifications", docs, notifs)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	r := NewRunner(1, 1, func(*alerter.Doc) int { return 0 })
+	r.Close()
+	r.Close() // idempotent
+	if err := r.Submit(&alerter.Doc{}); err != ErrClosed {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestRunnerClampsArguments(t *testing.T) {
+	r := NewRunner(0, 0, func(*alerter.Doc) int { return 0 })
+	if err := r.Submit(&alerter.Doc{}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	r.Close()
+	docs, _ := r.Stats()
+	if docs != 1 {
+		t.Errorf("docs = %d", docs)
+	}
+}

@@ -1,0 +1,121 @@
+package manager
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Record is one journal entry: a subscribe (with its source text) or an
+// unsubscribe.
+type Record struct {
+	Op     string `json:"op"` // "subscribe" | "unsubscribe"
+	Name   string `json:"name"`
+	Source string `json:"source,omitempty"`
+}
+
+// Journal persists the subscription base so the system recovers it after
+// a restart — the role MySQL plays in the paper's Subscription Manager.
+type Journal interface {
+	Append(r Record) error
+	Records() ([]Record, error)
+}
+
+// NopJournal discards records; for benchmarks and ephemeral systems.
+type NopJournal struct{}
+
+// Append discards the record.
+func (NopJournal) Append(Record) error { return nil }
+
+// Records returns nothing.
+func (NopJournal) Records() ([]Record, error) { return nil, nil }
+
+// MemJournal keeps records in memory; for tests.
+type MemJournal struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// Append stores the record.
+func (j *MemJournal) Append(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.recs = append(j.recs, r)
+	return nil
+}
+
+// Records returns a copy of the stored records.
+func (j *MemJournal) Records() ([]Record, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Record(nil), j.recs...), nil
+}
+
+// FileJournal appends JSON-lines records to a file.
+type FileJournal struct {
+	mu   sync.Mutex
+	path string
+}
+
+// NewFileJournal opens (creating if needed) a journal at path.
+func NewFileJournal(path string) (*FileJournal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	f.Close()
+	return &FileJournal{path: path}, nil
+}
+
+// Append writes one JSON line and syncs it.
+func (j *FileJournal) Append(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	enc, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(append(enc, '\n')); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return f.Sync()
+}
+
+// Records reads back every journal line.
+func (j *FileJournal) Records() ([]Record, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f, err := os.Open(j.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			return nil, fmt.Errorf("journal: corrupt record: %w", err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package reporter
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Email is one simulated outgoing message.
+type Email struct {
+	To      string
+	Subject string
+	Body    string
+	Time    time.Time
+}
+
+// EmailSink simulates the paper's sendmail-based delivery. The paper notes
+// the Reporter sustains hundreds of thousands of emails per day on one PC,
+// bounded by the sendmail daemon; the sink models that bound with an
+// optional per-day capacity, after which deliveries fail, so the
+// experiment harness can measure the same saturation point.
+type EmailSink struct {
+	mu        sync.Mutex
+	capacity  int // emails per day; 0 = unlimited
+	clock     func() time.Time
+	dayStart  time.Time
+	sentToday int
+	sent      []Email
+	keep      bool
+	total     uint64
+	rejected  uint64
+}
+
+// NewEmailSink returns a sink with the given per-day capacity (0 for
+// unlimited). When keep is true every email is retained for inspection —
+// tests only; the flood benches leave it false.
+func NewEmailSink(capacityPerDay int, keep bool, clock func() time.Time) *EmailSink {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &EmailSink{capacity: capacityPerDay, keep: keep, clock: clock}
+}
+
+// Deliver formats and "sends" the report by email.
+func (s *EmailSink) Deliver(rep *Report) error {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dayStart.IsZero() || now.Sub(s.dayStart) >= 24*time.Hour {
+		s.dayStart = now
+		s.sentToday = 0
+	}
+	if s.capacity > 0 && s.sentToday >= s.capacity {
+		s.rejected++
+		return fmt.Errorf("email: daily capacity %d exhausted", s.capacity)
+	}
+	s.sentToday++
+	s.total++
+	if s.keep {
+		s.sent = append(s.sent, Email{
+			To:      rep.Subscription,
+			Subject: fmt.Sprintf("[Xyleme] report for %s (%d notifications)", rep.Subscription, rep.Notifications),
+			Body:    rep.Doc.XML(),
+			Time:    now,
+		})
+	}
+	return nil
+}
+
+// Sent returns retained emails (only when keep was set).
+func (s *EmailSink) Sent() []Email {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Email(nil), s.sent...)
+}
+
+// Counts returns total accepted and rejected deliveries.
+func (s *EmailSink) Counts() (total, rejected uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total, s.rejected
+}

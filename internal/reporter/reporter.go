@@ -1,0 +1,333 @@
+// Package reporter implements the Reporter and Xyleme Reporter of the
+// architecture (Section 3): it buffers the notifications of each
+// subscription, evaluates the report conditions of the subscription's when
+// clause (count, per-label count, periodic, immediate, disjunctions),
+// applies the limiting clauses (atmost count / atmost frequency), renders
+// the buffered notifications as an XML report — post-processed by the
+// report query when one is given — and hands the report to a delivery
+// sink (email in the paper; pluggable here). Generated reports can be
+// archived for a configurable period (the archive clause).
+package reporter
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xymon/internal/sublang"
+	"xymon/internal/xmldom"
+)
+
+// Notification is one entry of a subscription's notification stream: the
+// payload element produced by a monitoring query or a continuous query.
+type Notification struct {
+	Subscription string
+	Label        string // monitoring query label or continuous query name
+	Element      *xmldom.Node
+	Time         time.Time
+}
+
+// Report is a generated subscription report.
+type Report struct {
+	Subscription  string
+	Doc           *xmldom.Node
+	Time          time.Time
+	Notifications int
+}
+
+// Delivery receives finished reports. The paper emails them; the default
+// sink here simulates an email spool.
+type Delivery interface {
+	Deliver(rep *Report) error
+}
+
+// DeliveryFunc adapts a function to the Delivery interface.
+type DeliveryFunc func(rep *Report) error
+
+// Deliver calls f.
+func (f DeliveryFunc) Deliver(rep *Report) error { return f(rep) }
+
+// subState is the per-subscription reporting state.
+type subState struct {
+	spec       *sublang.ReportSpec
+	buffer     []Notification
+	labelCount map[string]int
+	dropped    int // notifications discarded by atmost N
+	lastReport time.Time
+	hasReport  bool // a report was generated at least once
+	pending    bool // condition fired while rate-limited
+	followers  []string
+	start      time.Time
+}
+
+// Reporter buffers notifications and produces reports. Safe for
+// concurrent use.
+type Reporter struct {
+	mu       sync.Mutex
+	subs     map[string]*subState
+	delivery Delivery
+	clock    func() time.Time
+	archive  []archivedReport
+
+	delivered uint64
+	failed    uint64
+}
+
+type archivedReport struct {
+	rep    *Report
+	expiry time.Time
+}
+
+// Option configures a Reporter.
+type Option func(*Reporter)
+
+// WithClock substitutes the time source.
+func WithClock(clock func() time.Time) Option {
+	return func(r *Reporter) { r.clock = clock }
+}
+
+// New returns a Reporter delivering to sink (nil discards reports).
+func New(sink Delivery, opts ...Option) *Reporter {
+	r := &Reporter{
+		subs:     make(map[string]*subState),
+		delivery: sink,
+		clock:    time.Now,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.delivery == nil {
+		r.delivery = DeliveryFunc(func(*Report) error { return nil })
+	}
+	return r
+}
+
+// Register creates reporting state for a subscription. A nil spec installs
+// an immediate-report default.
+func (r *Reporter) Register(sub string, spec *sublang.ReportSpec) {
+	if spec == nil {
+		spec = &sublang.ReportSpec{When: []sublang.ReportTerm{{Kind: sublang.TermImmediate}}}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.subs[sub] = &subState{
+		spec:       spec,
+		labelCount: make(map[string]int),
+		start:      r.clock(),
+		lastReport: r.clock(),
+	}
+}
+
+// Unregister drops a subscription's reporting state.
+func (r *Reporter) Unregister(sub string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.subs, sub)
+	for _, st := range r.subs {
+		for i, f := range st.followers {
+			if f == sub {
+				st.followers = append(st.followers[:i], st.followers[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Follow implements virtual subscriptions (Section 5.4): every report of
+// target is also delivered on behalf of follower. Creating the monitoring
+// work happens once; following only puts stress on the Reporter.
+func (r *Reporter) Follow(follower, target string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.subs[target]
+	if !ok {
+		return fmt.Errorf("reporter: unknown subscription %q", target)
+	}
+	st.followers = append(st.followers, follower)
+	return nil
+}
+
+// Notify appends a notification to its subscription's buffer and fires a
+// report when the subscription's when condition holds.
+func (r *Reporter) Notify(n Notification) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.subs[n.Subscription]
+	if !ok {
+		return
+	}
+	now := r.clock()
+	if st.spec.AtMostCount > 0 && len(st.buffer) >= st.spec.AtMostCount {
+		// atmost N: stop registering new notifications until the next report.
+		st.dropped++
+		return
+	}
+	st.buffer = append(st.buffer, n)
+	st.labelCount[n.Label]++
+	if r.conditionHolds(st, now, true) {
+		r.emitLocked(n.Subscription, st, now)
+	}
+}
+
+// Tick evaluates time-based conditions (periodic terms, rate-limited
+// pending reports, archive expiry). Call it regularly — the paper's
+// Reporter owns a timer.
+func (r *Reporter) Tick() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock()
+	for sub, st := range r.subs {
+		if len(st.buffer) == 0 && !st.pending {
+			// Periodic reports with empty buffers are not sent; the paper's
+			// report queries run over gathered notifications.
+			if r.periodicDue(st, now) {
+				st.lastReport = now
+			}
+			continue
+		}
+		fire := st.pending && !r.rateLimited(st, now)
+		if !fire && r.conditionHolds(st, now, false) {
+			fire = true
+		}
+		if fire {
+			r.emitLocked(sub, st, now)
+		}
+	}
+	// Garbage-collect expired archived reports.
+	keep := r.archive[:0]
+	for _, a := range r.archive {
+		if a.expiry.After(now) {
+			keep = append(keep, a)
+		}
+	}
+	r.archive = keep
+}
+
+// conditionHolds evaluates the disjunction of report terms. onArrival is
+// true when called from Notify, enabling the immediate term.
+func (r *Reporter) conditionHolds(st *subState, now time.Time, onArrival bool) bool {
+	hold := false
+	for _, term := range st.spec.When {
+		switch term.Kind {
+		case sublang.TermImmediate:
+			if onArrival && len(st.buffer) > 0 {
+				hold = true
+			}
+		case sublang.TermCount:
+			if len(st.buffer) > term.Count {
+				hold = true
+			}
+		case sublang.TermTagCount:
+			if st.labelCount[term.Tag] > term.Count {
+				hold = true
+			}
+		case sublang.TermPeriodic:
+			if len(st.buffer) > 0 && r.periodicDue(st, now) {
+				hold = true
+			}
+		}
+		if hold {
+			break
+		}
+	}
+	if !hold {
+		return false
+	}
+	if r.rateLimited(st, now) {
+		st.pending = true
+		return false
+	}
+	return true
+}
+
+func (r *Reporter) periodicDue(st *subState, now time.Time) bool {
+	var freq sublang.Frequency
+	for _, term := range st.spec.When {
+		if term.Kind == sublang.TermPeriodic && (freq == 0 || term.Freq < freq) {
+			freq = term.Freq
+		}
+	}
+	if freq == 0 {
+		return false
+	}
+	return now.Sub(st.lastReport) >= freq.Duration()
+}
+
+// rateLimited applies the atmost-frequency clause.
+func (r *Reporter) rateLimited(st *subState, now time.Time) bool {
+	if st.spec.AtMostFreq == 0 || !st.hasReport {
+		return false
+	}
+	return now.Sub(st.lastReport) < st.spec.AtMostFreq.Duration()
+}
+
+// emitLocked renders, post-processes and delivers the report, then resets
+// the buffer ("the generation of a report empties the global buffer of
+// notification answers").
+func (r *Reporter) emitLocked(sub string, st *subState, now time.Time) {
+	doc := xmldom.Element("Report")
+	for _, n := range st.buffer {
+		if n.Element != nil {
+			doc.AppendChild(n.Element.Clone())
+		}
+	}
+	if st.spec.Query != nil {
+		if res, err := st.spec.Query.EvalElement("Report", []*xmldom.Node{doc}); err == nil {
+			doc = res
+		}
+	}
+	rep := &Report{Subscription: sub, Doc: doc, Time: now, Notifications: len(st.buffer)}
+	count := len(st.buffer)
+	st.buffer = nil
+	st.labelCount = make(map[string]int)
+	st.dropped = 0
+	st.lastReport = now
+	st.hasReport = true
+	st.pending = false
+	if st.spec.Archive > 0 {
+		r.archive = append(r.archive, archivedReport{rep: rep, expiry: now.Add(st.spec.Archive.Duration())})
+	}
+	recipients := append([]string{sub}, st.followers...)
+	for _, rcpt := range recipients {
+		out := rep
+		if rcpt != sub {
+			out = &Report{Subscription: rcpt, Doc: rep.Doc, Time: now, Notifications: count}
+		}
+		if err := r.delivery.Deliver(out); err != nil {
+			r.failed++
+		} else {
+			r.delivered++
+		}
+	}
+}
+
+// Buffered returns the number of notifications waiting for a subscription.
+func (r *Reporter) Buffered(sub string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st := r.subs[sub]; st != nil {
+		return len(st.buffer)
+	}
+	return 0
+}
+
+// Archived returns the archived reports of a subscription that have not
+// expired yet.
+func (r *Reporter) Archived(sub string) []*Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*Report
+	for _, a := range r.archive {
+		if a.rep.Subscription == sub {
+			out = append(out, a.rep)
+		}
+	}
+	return out
+}
+
+// Stats returns delivery counters.
+func (r *Reporter) Stats() (delivered, failed uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.delivered, r.failed
+}

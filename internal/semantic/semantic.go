@@ -1,0 +1,163 @@
+// Package semantic reproduces the semantic module of the Xyleme
+// architecture (Figure 1 and Section 2.1): it classifies XML resources
+// into semantic domains. In Xyleme, data distribution and the integrated
+// per-domain views both rest on "an automatic semantic classification of
+// all DTDs"; here each domain is described by a prototype vocabulary of
+// element tags, and documents (or DTDs, represented by their tag sets)
+// are assigned to the closest domain by weighted cosine similarity over
+// tag frequencies. The `domain = "biology"` atomic condition and the
+// per-domain continuous-query views consume the assignment.
+package semantic
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"xymon/internal/xmldom"
+)
+
+// Classifier assigns documents to semantic domains. Safe for concurrent
+// use; domains can be added while classification runs.
+type Classifier struct {
+	mu      sync.RWMutex
+	domains map[string]map[string]float64 // domain -> tag -> weight
+	// MinScore is the similarity below which a document stays
+	// unclassified (empty domain).
+	MinScore float64
+}
+
+// NewClassifier returns a classifier with no domains and the default
+// similarity threshold.
+func NewClassifier() *Classifier {
+	return &Classifier{
+		domains:  make(map[string]map[string]float64),
+		MinScore: 0.1,
+	}
+}
+
+// AddDomain registers (or extends) a domain described by typical element
+// tags. Repeating a tag raises its weight.
+func (c *Classifier) AddDomain(name string, tags ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	proto := c.domains[name]
+	if proto == nil {
+		proto = make(map[string]float64)
+		c.domains[name] = proto
+	}
+	for _, t := range tags {
+		proto[strings.ToLower(t)]++
+	}
+}
+
+// RemoveDomain drops a domain.
+func (c *Classifier) RemoveDomain(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.domains, name)
+}
+
+// Domains lists the registered domain names, sorted.
+func (c *Classifier) Domains() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.domains))
+	for name := range c.domains {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TagProfile extracts the tag-frequency vector of a document.
+func TagProfile(doc *xmldom.Document) map[string]float64 {
+	profile := make(map[string]float64)
+	if doc == nil || doc.Root == nil {
+		return profile
+	}
+	doc.Root.PreOrder(func(n *xmldom.Node) bool {
+		if n.Type == xmldom.ElementNode {
+			profile[strings.ToLower(n.Tag)]++
+		}
+		return true
+	})
+	return profile
+}
+
+// Classify returns the best-matching domain for a document and the cosine
+// similarity score. An empty domain means no domain reached MinScore.
+func (c *Classifier) Classify(doc *xmldom.Document) (string, float64) {
+	return c.classifyProfile(TagProfile(doc))
+}
+
+// ClassifyTags classifies a raw tag set — the form a DTD takes when only
+// its element declarations are known.
+func (c *Classifier) ClassifyTags(tags []string) (string, float64) {
+	profile := make(map[string]float64, len(tags))
+	for _, t := range tags {
+		profile[strings.ToLower(t)]++
+	}
+	return c.classifyProfile(profile)
+}
+
+func (c *Classifier) classifyProfile(profile map[string]float64) (string, float64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	bestName := ""
+	bestScore := 0.0
+	// Deterministic tie-break: iterate names in sorted order.
+	names := make([]string, 0, len(c.domains))
+	for name := range c.domains {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		score := cosine(profile, c.domains[name])
+		if score > bestScore {
+			bestName, bestScore = name, score
+		}
+	}
+	if bestScore < c.MinScore {
+		return "", bestScore
+	}
+	return bestName, bestScore
+}
+
+func cosine(a, b map[string]float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for k, va := range a {
+		na += va * va
+		if vb, ok := b[k]; ok {
+			dot += va * vb
+		}
+	}
+	for _, vb := range b {
+		nb += vb * vb
+	}
+	if dot == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Train folds an already-classified document into its domain's prototype,
+// so the classification sharpens as the warehouse grows (the paper's
+// classification is automatic and evolves with the DTD population).
+func (c *Classifier) Train(domain string, doc *xmldom.Document) {
+	profile := TagProfile(doc)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	proto := c.domains[domain]
+	if proto == nil {
+		proto = make(map[string]float64)
+		c.domains[domain] = proto
+	}
+	for tag, n := range profile {
+		proto[tag] += n
+	}
+}

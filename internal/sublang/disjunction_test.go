@@ -1,0 +1,69 @@
+package sublang
+
+import "testing"
+
+// TestDisjunctionDesugaring covers the DNF compilation of disjunctive
+// where clauses (the Section 7 extension): each disjunct becomes its own
+// monitoring query sharing the select clause, hence the same label.
+func TestDisjunctionDesugaring(t *testing.T) {
+	sub, err := Parse(`subscription D
+monitoring
+select <Hit url=URL/>
+where URL extends "http://a.example/" and modified self
+   or URL extends "http://b.example/" and new self
+   or filename = "index.xml"
+report when immediate`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(sub.Monitoring) != 3 {
+		t.Fatalf("Monitoring = %d, want 3 disjuncts", len(sub.Monitoring))
+	}
+	for i, m := range sub.Monitoring {
+		if m.Label() != "Hit" {
+			t.Errorf("disjunct %d label = %q, want shared Hit", i, m.Label())
+		}
+	}
+	if len(sub.Monitoring[0].Where) != 2 || len(sub.Monitoring[1].Where) != 2 || len(sub.Monitoring[2].Where) != 1 {
+		t.Errorf("conjunction sizes: %d %d %d",
+			len(sub.Monitoring[0].Where), len(sub.Monitoring[1].Where), len(sub.Monitoring[2].Where))
+	}
+	if sub.Monitoring[1].Where[1].Kind != CondSelfChange || sub.Monitoring[1].Where[1].Change != OpNew {
+		t.Errorf("second disjunct = %+v", sub.Monitoring[1].Where)
+	}
+}
+
+func TestDisjunctionEachDisjunctNeedsStrongCondition(t *testing.T) {
+	_, err := Parse(`subscription D
+monitoring
+select <Hit/>
+where URL extends "http://a.example/" or modified self
+report when immediate`)
+	if err == nil {
+		t.Fatal("weak-only disjunct must be rejected")
+	}
+}
+
+func TestDisjunctionSharesFromBindings(t *testing.T) {
+	sub, err := Parse(`subscription D
+monitoring
+select X
+from self//Member X
+where new X and URL extends "http://a.example/"
+   or new X and URL extends "http://b.example/"
+report when immediate`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(sub.Monitoring) != 2 {
+		t.Fatalf("Monitoring = %d", len(sub.Monitoring))
+	}
+	for i, m := range sub.Monitoring {
+		if len(m.From) != 1 || m.From[0].Var != "X" {
+			t.Errorf("disjunct %d from = %+v", i, m.From)
+		}
+		if m.Where[0].Tag != "Member" {
+			t.Errorf("disjunct %d: var not resolved: %+v", i, m.Where[0])
+		}
+	}
+}

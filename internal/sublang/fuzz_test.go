@@ -1,0 +1,26 @@
+package sublang
+
+import "testing"
+
+// FuzzParse checks the subscription parser never panics and that anything
+// accepted prints to a reparseable normal form. Run `go test -fuzz
+// FuzzParse ./internal/sublang` for continuous fuzzing; the seed corpus
+// alone runs as a regular test.
+func FuzzParse(f *testing.F) {
+	f.Add(myXyleme)
+	f.Add(xylemeCompetitors)
+	f.Add(amsterdam)
+	f.Add(`subscription S monitoring select <P/> where URL extends "http://x.example/"`)
+	f.Add(`subscription " % or and <<>> 100`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		sub, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := sub.String()
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("accepted subscription prints to unparseable form:\n%s\n%v", printed, err)
+		}
+	})
+}

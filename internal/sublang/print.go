@@ -1,0 +1,156 @@
+package sublang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the subscription back in the concrete syntax of Section
+// 5. The output reparses to an equivalent subscription (same structure
+// after validation), which the tests check; the manager could journal this
+// normalised form instead of the user's original text.
+func (s *Subscription) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "subscription %s\n", s.Name)
+	for _, m := range s.Monitoring {
+		b.WriteString("\nmonitoring\n")
+		b.WriteString(m.String())
+	}
+	for _, c := range s.Continuous {
+		b.WriteString("\ncontinuous ")
+		if c.Delta {
+			b.WriteString("delta ")
+		}
+		b.WriteString(c.Name)
+		b.WriteString("\n")
+		if c.Query != nil {
+			b.WriteString(c.Query.String())
+			b.WriteString("\n")
+		}
+		if c.When.Freq != 0 {
+			fmt.Fprintf(&b, "when %s\n", c.When.Freq)
+		} else {
+			fmt.Fprintf(&b, "when %s.%s\n", c.When.NotifSub, c.When.NotifQuery)
+		}
+	}
+	for _, v := range s.Virtual {
+		fmt.Fprintf(&b, "\nvirtual %s.%s\n", v.Subscription, v.Query)
+	}
+	for _, r := range s.Refresh {
+		fmt.Fprintf(&b, "\nrefresh %q %s\n", r.URL, r.Freq)
+	}
+	if s.Report != nil {
+		b.WriteString("\nreport\n")
+		if s.Report.Query != nil {
+			b.WriteString(s.Report.Query.String())
+			b.WriteString("\n")
+		}
+		b.WriteString("when ")
+		for i, t := range s.Report.When {
+			if i > 0 {
+				b.WriteString(" or ")
+			}
+			b.WriteString(t.String())
+		}
+		b.WriteString("\n")
+		if s.Report.AtMostCount > 0 {
+			fmt.Fprintf(&b, "atmost %d\n", s.Report.AtMostCount)
+		}
+		if s.Report.AtMostFreq > 0 {
+			fmt.Fprintf(&b, "atmost %s\n", s.Report.AtMostFreq)
+		}
+		if s.Report.Archive > 0 {
+			fmt.Fprintf(&b, "archive %s\n", s.Report.Archive)
+		}
+	}
+	return b.String()
+}
+
+// String renders one monitoring query (select, from, where), ending with a
+// newline.
+func (m *MonitoringQuery) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	switch {
+	case m.Select == nil:
+		b.WriteString("<notification/>")
+	case m.Select.Literal != nil:
+		lit := m.Select.Literal
+		b.WriteString("<")
+		b.WriteString(lit.Tag)
+		for _, a := range lit.Attrs {
+			if a.IsVar {
+				fmt.Fprintf(&b, " %s=%s", a.Name, a.Value)
+			} else {
+				fmt.Fprintf(&b, " %s=%q", a.Name, a.Value)
+			}
+		}
+		if len(lit.Children) == 0 {
+			b.WriteString("/>")
+		} else {
+			b.WriteString(">")
+			for i, c := range lit.Children {
+				if i > 0 {
+					b.WriteString(" ")
+				}
+				if c.IsVar {
+					b.WriteString(c.Var)
+				} else {
+					fmt.Fprintf(&b, "%q", c.Text)
+				}
+			}
+			fmt.Fprintf(&b, "</%s>", lit.Tag)
+		}
+	default:
+		b.WriteString(m.Select.Var)
+	}
+	b.WriteString("\n")
+	if len(m.From) > 0 {
+		b.WriteString("from ")
+		for i, f := range m.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", f.Path.String(), f.Var)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("where ")
+	for i, c := range m.Where {
+		if i > 0 {
+			b.WriteString("\n  and ")
+		}
+		b.WriteString(c.printable())
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// printable renders the condition in reparseable concrete syntax. Unlike
+// Condition.String (a diagnostic format), variable references print as the
+// variable so the from clause resolves them again on reparse.
+func (c Condition) printable() string {
+	switch c.Kind {
+	case CondLastAccessed, CondLastUpdate:
+		name := "LastAccessed"
+		if c.Kind == CondLastUpdate {
+			name = "LastUpdate"
+		}
+		return fmt.Sprintf("%s %s %q", name, c.Cmp, c.Date.Format("2006-01-02"))
+	}
+	if c.Kind == CondElement && c.Var != "" {
+		out := c.Change.String()
+		if out != "" {
+			out += " "
+		}
+		out += c.Var
+		if c.Str != "" {
+			if c.Strict {
+				out += " strict"
+			}
+			out += fmt.Sprintf(" contains %q", c.Str)
+		}
+		return out
+	}
+	return c.String()
+}

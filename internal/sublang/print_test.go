@@ -1,0 +1,174 @@
+package sublang
+
+import (
+	"testing"
+	"time"
+)
+
+// reprint parses src, prints it, reparses the output and checks the two
+// parse trees print identically — the normalised form is a fixed point.
+func reprint(t *testing.T, src string) {
+	t.Helper()
+	sub, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, src)
+	}
+	printed := sub.String()
+	sub2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n--- printed ---\n%s", err, printed)
+	}
+	if printed2 := sub2.String(); printed2 != printed {
+		t.Errorf("print not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", printed, printed2)
+	}
+}
+
+func TestPrintRoundTripPaperExamples(t *testing.T) {
+	for name, src := range map[string]string{
+		"MyXyleme":          myXyleme,
+		"XylemeCompetitors": xylemeCompetitors,
+		"Amsterdam":         amsterdam,
+	} {
+		t.Run(name, func(t *testing.T) { reprint(t, src) })
+	}
+}
+
+func TestPrintRoundTripFeatureMatrix(t *testing.T) {
+	cases := map[string]string{
+		"meta conditions": `subscription M
+monitoring select <X a=URL b="lit" c=STATUS/>
+where DTDID = 7 and DOCID = 9 and domain = "bio" and filename = "i.xml"
+  and LastUpdate >= "2001-05-21" and LastAccessed < "2001-06-01"
+  and self contains "genome" and DTD = "http://d/x.dtd"
+report when immediate`,
+		"element conditions": `subscription E
+monitoring select <X/>
+where URL extends "http://a.example/"
+  and updated Product strict contains "camera"
+  and new Product
+  and Category contains "electronic"
+  and deleted Promo
+  and unchanged self
+report when UpdatedPage.count > 10 or weekly or immediate atmost 500 atmost weekly archive monthly`,
+		"variables": `subscription V
+monitoring select X from self//Member X, self//Team T
+where URL = "http://a.example/m.xml" and new X
+report when notifications.count > 3`,
+		"disjunction": `subscription D
+monitoring select <H/>
+where URL extends "http://a.example/" or filename = "x.xml"
+report when immediate`,
+		"continuous": `subscription C
+continuous delta Q
+select distinct p/title from culture/museum m, m/painting p where m/address contains "Amsterdam" and m/@rank > "3"
+when biweekly
+continuous R select x from y/z x when C.H
+monitoring select <H/> where URL extends "http://a.example/"
+report when immediate`,
+		"virtual and refresh": `subscription VR
+virtual Other.Query
+refresh "http://a.example/x.xml" weekly
+refresh "http://a.example/y.xml" daily`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) { reprint(t, src) })
+	}
+}
+
+func TestPrintResolvedVariableStaysVariable(t *testing.T) {
+	sub, err := Parse(`subscription V
+monitoring select X from self//Member X
+where URL = "http://a.example/m.xml" and new X
+report when immediate`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	printed := sub.String()
+	// The condition resolved X to tag Member internally, but the printed
+	// form must keep `new X` so the from clause re-resolves it.
+	sub2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	cond := sub2.Monitoring[0].Where[1]
+	if cond.Var != "X" || cond.Tag != "Member" {
+		t.Errorf("reparsed condition = %+v", cond)
+	}
+}
+
+func TestStringCoverage(t *testing.T) {
+	// Exercise every enum's String form.
+	for op, want := range map[ChangeOp]string{
+		NoChange: "", OpNew: "new", OpUpdated: "updated",
+		OpUnchanged: "unchanged", OpDeleted: "deleted",
+	} {
+		if op.String() != want {
+			t.Errorf("ChangeOp(%d) = %q, want %q", op, op.String(), want)
+		}
+	}
+	kinds := []CondKind{
+		CondURLExtends, CondURLEquals, CondFilename, CondDTD, CondDTDID,
+		CondDOCID, CondDomain, CondLastAccessed, CondLastUpdate,
+		CondSelfContains, CondSelfChange, CondElement,
+	}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("CondKind %d has empty String", k)
+		}
+	}
+	for cmp, want := range map[Comparator]string{
+		CmpEq: "=", CmpLt: "<", CmpGt: ">", CmpLe: "<=", CmpGe: ">=",
+	} {
+		if cmp.String() != want {
+			t.Errorf("Comparator %d = %q", cmp, cmp.String())
+		}
+	}
+	for _, term := range []ReportTerm{
+		{Kind: TermImmediate},
+		{Kind: TermCount, Count: 5},
+		{Kind: TermTagCount, Tag: "X", Count: 3},
+		{Kind: TermPeriodic, Freq: Daily},
+	} {
+		if term.String() == "" || term.String() == "?" {
+			t.Errorf("ReportTerm %+v has bad String", term)
+		}
+	}
+	// A non-named frequency prints as a duration.
+	odd := Frequency(90 * time.Minute)
+	if odd.String() != "1h30m0s" {
+		t.Errorf("odd frequency = %q", odd.String())
+	}
+	// ValidationError formats with the subscription name.
+	e := &ValidationError{Subscription: "S", Msg: "boom"}
+	if e.Error() != "subscription S: boom" {
+		t.Errorf("ValidationError = %q", e.Error())
+	}
+}
+
+func TestParserErrorBranches(t *testing.T) {
+	cases := []string{
+		// comparator garbage
+		`subscription S
+monitoring select <P/> where LastUpdate ~ "2001-01-01"`,
+		// from binding missing variable
+		`subscription S
+monitoring select X from self//a where new X`,
+		// virtual missing dot
+		`subscription S
+virtual OnlyName`,
+		// virtual missing query
+		`subscription S
+virtual A.`,
+		// literal attr garbage value
+		`subscription S
+monitoring select <P a=/> where URL extends "http://x.example/"`,
+		// path with trailing slash in from
+		`subscription S
+monitoring select X from self//a/ X where new X`,
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d should fail:\n%s", i, src)
+		}
+	}
+}

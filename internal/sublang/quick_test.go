@@ -1,0 +1,85 @@
+package sublang
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Parse never panics, whatever the input — it either returns a
+// subscription or an error.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		sub, err := Parse(src)
+		// Either outcome is fine; both non-nil would be a bug.
+		if err == nil && sub == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: structured noise around the real grammar never panics either.
+func TestQuickParseGrammarNoise(t *testing.T) {
+	words := []string{
+		"subscription", "monitoring", "select", "from", "where", "and", "or",
+		"URL", "extends", "self", "contains", "new", "modified", "report",
+		"when", "immediate", "continuous", "delta", "virtual", "refresh",
+		"atmost", "archive", "weekly", `"http://x/"`, "<", ">", "/", "=",
+		".", ",", "X", "count", "100", "notifications",
+	}
+	f := func(picks []uint8) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		src := ""
+		for _, p := range picks {
+			src += words[int(p)%len(words)] + " "
+		}
+		Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: anything that parses also prints to a form that reparses.
+func TestQuickPrintReparses(t *testing.T) {
+	words := []string{
+		"subscription S monitoring select <P/> where URL extends \"http://a.example/\"",
+		" and modified self", " and new Product", " and self contains \"xml\"",
+		" or filename = \"x.xml\"", "\nreport when immediate",
+		"\nreport when notifications.count > 5 atmost 3",
+		"\nvirtual A.B", "\nrefresh \"http://a.example/\" weekly",
+	}
+	f := func(mask uint16) bool {
+		src := words[0]
+		for i := 1; i < len(words); i++ {
+			if mask&(1<<i) != 0 {
+				src += words[i]
+			}
+		}
+		sub, err := Parse(src)
+		if err != nil {
+			return true // not all combinations are valid; that's fine
+		}
+		if _, err := Parse(sub.String()); err != nil {
+			t.Logf("printed form does not reparse:\n%s\n%v", sub.String(), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 512}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+package sublang
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"xymon/internal/xmldom"
+	"xymon/internal/xyquery"
+)
+
+// stopwords are words too common to monitor with `contains`: Section 5.4
+// rejects such subscriptions a priori because every crawled document would
+// raise the corresponding atomic event.
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "of": true, "and": true,
+	"or": true, "to": true, "in": true, "is": true, "it": true,
+	"le": true, "la": true, "les": true, "de": true, "et": true,
+}
+
+// ValidationError describes why a subscription was rejected.
+type ValidationError struct {
+	Subscription string
+	Msg          string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("subscription %s: %s", e.Subscription, e.Msg)
+}
+
+func (s *Subscription) fail(format string, args ...any) error {
+	return &ValidationError{Subscription: s.Name, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate applies the static checks of Sections 5.1 and 5.4: the
+// weak/strong event rule, variable scoping, and the resource-control
+// restrictions (no stopword `contains`, no trivially-broad URL prefixes).
+// It also resolves variable references in element conditions to their
+// tags. Parse calls it automatically.
+func Validate(s *Subscription) error {
+	if s.Name == "" {
+		return errors.New("sublang: subscription has no name")
+	}
+	if len(s.Monitoring) == 0 && len(s.Continuous) == 0 && len(s.Virtual) == 0 {
+		return s.fail("must contain at least one monitoring, continuous or virtual query")
+	}
+	labels := map[string]bool{}
+	for i, m := range s.Monitoring {
+		if err := s.validateMonitoring(i, m); err != nil {
+			return err
+		}
+		labels[m.Label()] = true
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Continuous {
+		if c.Name == "" {
+			return s.fail("continuous query has no name")
+		}
+		if seen[c.Name] {
+			return s.fail("duplicate continuous query name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.When.Freq == 0 && c.When.NotifQuery == "" {
+			return s.fail("continuous query %q has no trigger", c.Name)
+		}
+		// A notification trigger referencing this same subscription must
+		// name one of its monitoring labels.
+		if c.When.NotifSub == s.Name && !labels[c.When.NotifQuery] {
+			return s.fail("continuous query %q triggers on unknown notification %s.%s",
+				c.Name, c.When.NotifSub, c.When.NotifQuery)
+		}
+	}
+	if s.Report != nil {
+		if len(s.Report.When) == 0 {
+			return s.fail("report needs a when clause")
+		}
+		for _, term := range s.Report.When {
+			if term.Kind == TermTagCount && term.Tag == "" {
+				return s.fail("report term needs a notification label")
+			}
+		}
+	}
+	for _, r := range s.Refresh {
+		if r.URL == "" {
+			return s.fail("refresh statement needs a URL")
+		}
+		if r.Freq == 0 {
+			return s.fail("refresh statement needs a frequency")
+		}
+	}
+	for _, v := range s.Virtual {
+		if v.Subscription == "" || v.Query == "" {
+			return s.fail("virtual reference needs Subscription.Query")
+		}
+	}
+	return nil
+}
+
+func (s *Subscription) validateMonitoring(i int, m *MonitoringQuery) error {
+	if len(m.Where) == 0 {
+		return s.fail("monitoring query #%d has an empty where clause", i+1)
+	}
+	vars := map[string]xyquery.Path{}
+	for _, b := range m.From {
+		if b.Var == "self" {
+			return s.fail("monitoring query #%d: 'self' cannot be a variable", i+1)
+		}
+		if _, dup := vars[b.Var]; dup {
+			return s.fail("monitoring query #%d: variable %q bound twice", i+1, b.Var)
+		}
+		if b.Path.Root != "self" {
+			return s.fail("monitoring query #%d: from paths must be rooted at self", i+1)
+		}
+		vars[b.Var] = b.Path
+	}
+	if m.Select != nil && m.Select.Var != "" {
+		if _, ok := vars[m.Select.Var]; !ok {
+			return s.fail("monitoring query #%d selects unbound variable %q", i+1, m.Select.Var)
+		}
+	}
+	if m.Select != nil && m.Select.Literal != nil {
+		for _, a := range m.Select.Literal.Attrs {
+			if a.IsVar && !builtinVar(a.Value) {
+				return s.fail("monitoring query #%d: unknown built-in %q in select literal", i+1, a.Value)
+			}
+		}
+		for _, c := range m.Select.Literal.Children {
+			if !c.IsVar {
+				continue
+			}
+			if _, ok := vars[c.Var]; !ok && !builtinVar(c.Var) {
+				return s.fail("monitoring query #%d: unbound variable %q in select literal content", i+1, c.Var)
+			}
+		}
+	}
+	strong := false
+	for j := range m.Where {
+		c := &m.Where[j]
+		if err := s.resolveCondition(i, c, vars); err != nil {
+			return err
+		}
+		if !c.Weak() {
+			strong = true
+		}
+	}
+	// Section 5.1: "We disallow where clauses composed solely of a weak
+	// atomic condition" — otherwise every fetched page raises an alert.
+	if !strong {
+		return s.fail("monitoring query #%d contains only weak conditions (new/updated/unchanged self); add a strong condition such as a URL or element pattern", i+1)
+	}
+	return nil
+}
+
+func (s *Subscription) resolveCondition(i int, c *Condition, vars map[string]xyquery.Path) error {
+	switch c.Kind {
+	case CondURLExtends:
+		// Section 5.4: arbitrary patterns are disallowed by syntax; an
+		// empty or near-empty prefix would match the whole web.
+		if len(strings.TrimSpace(c.Str)) < 4 {
+			return s.fail("monitoring query #%d: URL prefix %q is too broad", i+1, c.Str)
+		}
+	case CondURLEquals, CondFilename, CondDTD, CondDomain:
+		if strings.TrimSpace(c.Str) == "" {
+			return s.fail("monitoring query #%d: %s needs a non-empty value", i+1, c.Kind)
+		}
+	case CondSelfContains:
+		if err := s.checkContainsWord(i, c.Str); err != nil {
+			return err
+		}
+	case CondElement:
+		// Resolve a variable reference to its tag: `new X` with
+		// `from self//Member X` monitors new Member elements.
+		if path, ok := vars[c.Tag]; ok {
+			c.Var = c.Tag
+			if len(path.Steps) == 0 {
+				return s.fail("monitoring query #%d: variable %q binds the document itself; use self", i+1, c.Var)
+			}
+			tag := path.Steps[len(path.Steps)-1].Name
+			if tag == "*" {
+				return s.fail("monitoring query #%d: variable %q binds a wildcard path; element conditions need a tag", i+1, c.Var)
+			}
+			c.Tag = tag
+		}
+		if c.Str != "" {
+			if err := s.checkContainsWord(i, c.Str); err != nil {
+				return err
+			}
+		}
+		if c.Change == NoChange && c.Str == "" {
+			return s.fail("monitoring query #%d: element condition on %q needs a change pattern or contains", i+1, c.Tag)
+		}
+	}
+	return nil
+}
+
+// checkContainsWord enforces the `contains` value rules: exactly one word
+// (the alerters' word tables are keyed by single words), and not a
+// stopword (Section 5.4).
+func (s *Subscription) checkContainsWord(i int, raw string) error {
+	words := xmldom.Words(raw)
+	switch {
+	case len(words) == 0:
+		return s.fail("monitoring query #%d: contains needs a word", i+1)
+	case len(words) > 1:
+		return s.fail("monitoring query #%d: contains takes a single word, got %q", i+1, raw)
+	case stopwords[words[0]]:
+		return s.fail("monitoring query #%d: word %q is too common to monitor", i+1, raw)
+	}
+	return nil
+}
+
+// builtinVar reports whether name is a built-in notification variable
+// usable in select literals.
+func builtinVar(name string) bool {
+	switch strings.ToUpper(name) {
+	case "URL", "DATE", "DOCID", "DTD", "DOMAIN", "STATUS":
+		return true
+	}
+	return false
+}

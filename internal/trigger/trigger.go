@@ -1,0 +1,181 @@
+// Package trigger implements the Trigger Engine of the architecture
+// (Section 3): it evaluates continuous queries either on a schedule (e.g.
+// biweekly) or when a particular notification is detected, and feeds the
+// resulting notifications back to the Reporter. Queries registered with
+// the `delta` keyword report only the changes of their result between
+// evaluations, using the XyDelta mechanism (Section 5.2).
+package trigger
+
+import (
+	"sync"
+	"time"
+
+	"xymon/internal/sublang"
+	"xymon/internal/xmldom"
+	"xymon/internal/xydiff"
+)
+
+// Source supplies the forest a continuous query runs over — typically a
+// semantic-domain view of the warehouse.
+type Source func() []*xmldom.Node
+
+// Result is a continuous-query notification: the query code plus its
+// (possibly delta) result element.
+type Result struct {
+	Subscription string
+	Query        string
+	Element      *xmldom.Node
+	Time         time.Time
+}
+
+// Sink receives continuous-query results.
+type Sink func(Result)
+
+type registered struct {
+	sub     string
+	cq      *sublang.ContinuousQuery
+	lastRun time.Time
+	hasRun  bool
+	// lastResult is the previous evaluation, retained for delta queries.
+	lastResult *xmldom.Document
+}
+
+// Engine owns the continuous queries. Safe for concurrent use.
+type Engine struct {
+	mu      sync.Mutex
+	queries []*registered
+	source  Source
+	sink    Sink
+	clock   func() time.Time
+
+	evaluations uint64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithClock substitutes the time source.
+func WithClock(clock func() time.Time) Option {
+	return func(e *Engine) { e.clock = clock }
+}
+
+// New returns an engine evaluating queries over source and sending results
+// to sink.
+func New(source Source, sink Sink, opts ...Option) *Engine {
+	e := &Engine{source: source, sink: sink, clock: time.Now}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Register adds a continuous query owned by subscription sub.
+func (e *Engine) Register(sub string, cq *sublang.ContinuousQuery) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queries = append(e.queries, &registered{sub: sub, cq: cq, lastRun: e.clock()})
+}
+
+// Unregister removes every continuous query of a subscription.
+func (e *Engine) Unregister(sub string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	keep := e.queries[:0]
+	for _, r := range e.queries {
+		if r.sub != sub {
+			keep = append(keep, r)
+		}
+	}
+	e.queries = keep
+}
+
+// Tick evaluates every frequency-scheduled query whose period has elapsed.
+// Call it regularly; the paper's engine owns a timer.
+func (e *Engine) Tick() {
+	now := e.clock()
+	e.mu.Lock()
+	var due []*registered
+	for _, r := range e.queries {
+		if r.cq.When.Freq == 0 {
+			continue
+		}
+		if !r.hasRun || now.Sub(r.lastRun) >= r.cq.When.Freq.Duration() {
+			due = append(due, r)
+		}
+	}
+	e.mu.Unlock()
+	for _, r := range due {
+		e.evaluate(r, now)
+	}
+}
+
+// OnNotification runs the queries triggered by the given notification, as
+// in `when XylemeCompetitors.ChangeInMyProducts`.
+func (e *Engine) OnNotification(sub, label string) {
+	now := e.clock()
+	e.mu.Lock()
+	var due []*registered
+	for _, r := range e.queries {
+		if r.cq.When.NotifQuery == label && r.cq.When.NotifSub == sub {
+			due = append(due, r)
+		}
+	}
+	e.mu.Unlock()
+	for _, r := range due {
+		e.evaluate(r, now)
+	}
+}
+
+// evaluate runs one query and emits its (delta) result.
+func (e *Engine) evaluate(r *registered, now time.Time) {
+	var result *xmldom.Node
+	if r.cq.Query != nil {
+		res, err := r.cq.Query.EvalElement(r.cq.Name, e.source())
+		if err != nil {
+			return
+		}
+		result = res
+	} else {
+		result = xmldom.Element(r.cq.Name)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r.lastRun = now
+	e.evaluations++
+	out := result
+	if r.cq.Delta {
+		newDoc := xmldom.NewDocument(result.Clone())
+		if r.hasRun && r.lastResult != nil {
+			delta, err := xydiff.Diff(r.lastResult, newDoc)
+			if err == nil {
+				if delta.Empty() {
+					// No change: delta queries stay silent.
+					r.hasRun = true
+					r.lastResult = newDoc
+					return
+				}
+				out = delta.RenderXML(r.cq.Name)
+			}
+		}
+		r.lastResult = newDoc
+	}
+	r.hasRun = true
+	if e.sink != nil {
+		e.sink(Result{Subscription: r.sub, Query: r.cq.Name, Element: out, Time: now})
+	}
+}
+
+// Evaluations returns the number of query evaluations performed.
+func (e *Engine) Evaluations() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evaluations
+}
+
+// Len returns the number of registered continuous queries.
+func (e *Engine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queries)
+}

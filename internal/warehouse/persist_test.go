@@ -1,0 +1,106 @@
+package warehouse
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xymon/internal/xmldom"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, clock := newTestStore()
+	s.CommitXML("http://a.example/c.xml", "http://a.example/c.dtd", "shopping",
+		xmldom.MustParse(`<catalog><product>radio</product></catalog>`))
+	clock.advance(1)
+	s.CommitXML("http://a.example/c.xml", "http://a.example/c.dtd", "shopping",
+		xmldom.MustParse(`<catalog><product>radio</product><product>tv</product></catalog>`))
+	s.CommitHTML("http://a.example/i.html", []byte("<html>hello</html>"))
+	if err := s.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	s2, _ := newTestStore()
+	if err := s2.Load(dir); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("Len = %d", s2.Len())
+	}
+	e, err := s2.Get("http://a.example/c.xml")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if e.Meta.Version != 2 || e.Meta.Domain != "shopping" || e.Meta.DTDID == 0 {
+		t.Errorf("meta = %+v", e.Meta)
+	}
+	if e.Doc == nil || len(e.Doc.Root.Elements("product")) != 2 {
+		t.Errorf("doc = %v", e.Doc)
+	}
+	// Change detection continues working: an identical commit is unchanged,
+	// because the signature was restored.
+	r, err := s2.CommitXML("http://a.example/c.xml", "", "",
+		xmldom.MustParse(`<catalog><product>radio</product><product>tv</product></catalog>`))
+	if err != nil || r.Status != StatusUnchanged {
+		t.Errorf("recommit = %+v, %v", r, err)
+	}
+	// A changed commit yields a delta against the restored version.
+	r, err = s2.CommitXML("http://a.example/c.xml", "", "",
+		xmldom.MustParse(`<catalog><product>radio</product></catalog>`))
+	if err != nil || r.Status != StatusUpdated || r.Delta.Empty() {
+		t.Errorf("changed recommit = %+v, %v", r, err)
+	}
+	// The HTML page kept its signature too.
+	rh, _ := s2.CommitHTML("http://a.example/i.html", []byte("<html>hello</html>"))
+	if rh.Status != StatusUnchanged {
+		t.Errorf("html recommit = %v", rh.Status)
+	}
+	// DocIDs keep increasing past the snapshot.
+	rn, _ := s2.CommitXML("http://a.example/new.xml", "", "", xmldom.MustParse(`<n/>`))
+	if rn.Meta.DocID <= e.Meta.DocID {
+		t.Errorf("DocID %d not beyond snapshot ids", rn.Meta.DocID)
+	}
+	// Domain views restored.
+	if len(s2.DomainRoots("shopping")) != 1 {
+		t.Errorf("domain view not restored")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := newTestStore()
+	if err := s.Load(dir); err == nil {
+		t.Error("Load without manifest should fail")
+	}
+	os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("not json"), 0o644)
+	if err := s.Load(dir); err == nil {
+		t.Error("corrupt manifest should fail")
+	}
+	// Non-empty store rejects Load.
+	s.CommitXML("u", "", "", xmldom.MustParse(`<a/>`))
+	good, _ := newTestStore()
+	good.CommitXML("u2", "", "", xmldom.MustParse(`<b/>`))
+	gdir := t.TempDir()
+	if err := good.Save(gdir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := s.Load(gdir); err == nil {
+		t.Error("Load into non-empty store should fail")
+	}
+	// Corrupt document file.
+	bdir := t.TempDir()
+	if err := good.Save(bdir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	entries, _ := os.ReadDir(bdir)
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".xml" {
+			os.WriteFile(filepath.Join(bdir, e.Name()), []byte("<broken"), 0o644)
+		}
+	}
+	fresh, _ := newTestStore()
+	if err := fresh.Load(bdir); err == nil {
+		t.Error("corrupt document should fail")
+	}
+}

@@ -1,0 +1,400 @@
+// Package warehouse is the XML repository and index manager of the
+// reproduction — the stand-in for the Natix tree store the paper's system
+// uses (Section 2.1). It keeps the current version of every warehoused XML
+// document together with its metadata (URL, DOCID, DTD, semantic domain,
+// fetch times), a signature for change detection on non-warehoused HTML
+// pages, and the chain of deltas linking successive versions, which is the
+// basis of the versioning mechanism of Section 5.2.
+package warehouse
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"xymon/internal/xmldom"
+	"xymon/internal/xydiff"
+)
+
+// DocType tells whether a page is warehoused XML or signature-only HTML.
+type DocType int
+
+const (
+	// XML documents are stored and monitored at the element level.
+	XML DocType = iota
+	// HTML documents are not warehoused: only a signature is kept, so the
+	// system can detect whether they changed (Section 1).
+	HTML
+)
+
+func (t DocType) String() string {
+	if t == HTML {
+		return "html"
+	}
+	return "xml"
+}
+
+// Status classifies a fetch against the stored state of the page.
+type Status int
+
+const (
+	// StatusNew: the page was never seen before.
+	StatusNew Status = iota
+	// StatusUpdated: the page changed since the last fetch.
+	StatusUpdated
+	// StatusUnchanged: the page is identical to the last fetch.
+	StatusUnchanged
+	// StatusDeleted: the page disappeared from its site.
+	StatusDeleted
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusNew:
+		return "new"
+	case StatusUpdated:
+		return "updated"
+	case StatusUnchanged:
+		return "unchanged"
+	case StatusDeleted:
+		return "deleted"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Metadata is what the URL manager knows about a page.
+type Metadata struct {
+	URL          string
+	Filename     string // tail of the URL, e.g. index.html
+	DocID        uint64
+	DTD          string // DTD URL for XML documents
+	DTDID        uint64
+	Domain       string // semantic domain (e.g. biology, culture)
+	Type         DocType
+	LastAccessed time.Time
+	LastUpdate   time.Time
+	Version      int
+	Signature    [sha256.Size]byte
+}
+
+// Entry is a warehoused page: metadata plus, for XML, the current DOM and
+// the delta history.
+type Entry struct {
+	Meta Metadata
+	Doc  *xmldom.Document // current version; nil for HTML
+	// Base is the oldest retained version; Deltas[i] turns it i steps
+	// forward, so Base + all Deltas = Doc. This is exactly the XyDelta
+	// versioning scheme: old versions are reconstructed on demand.
+	Base   *xmldom.Document
+	Deltas []*xydiff.Delta
+}
+
+// CommitResult reports what a commit did.
+type CommitResult struct {
+	Status Status
+	Meta   Metadata
+	// Old is the previous version (nil when Status is New); only for XML.
+	Old *xmldom.Document
+	// Doc is the stored current version, with XIDs propagated from Old.
+	Doc *xmldom.Document
+	// Delta is the change from Old to Doc (nil unless Status is Updated).
+	Delta *xydiff.Delta
+}
+
+// ErrUnknownURL is returned when a page has never been stored.
+var ErrUnknownURL = errors.New("warehouse: unknown URL")
+
+// Store is the repository. It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	pages   map[string]*Entry
+	domains map[string]map[string]bool // domain -> set of URLs
+	dtdIDs  map[string]uint64
+	nextDoc uint64
+	nextDTD uint64
+	clock   func() time.Time
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithClock substitutes the time source; tests and the simulated crawler
+// use a virtual clock.
+func WithClock(clock func() time.Time) Option {
+	return func(s *Store) { s.clock = clock }
+}
+
+// NewStore returns an empty repository.
+func NewStore(opts ...Option) *Store {
+	s := &Store{
+		pages:   make(map[string]*Entry),
+		domains: make(map[string]map[string]bool),
+		dtdIDs:  make(map[string]uint64),
+		nextDoc: 1,
+		nextDTD: 1,
+		clock:   time.Now,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Filename extracts the tail of a URL: the paper's `filename = string`
+// condition matches it (e.g. index.html).
+func Filename(url string) string {
+	if i := strings.LastIndex(url, "/"); i >= 0 {
+		return url[i+1:]
+	}
+	return url
+}
+
+// Signature hashes raw page content for HTML-style change detection.
+func Signature(content []byte) [sha256.Size]byte {
+	return sha256.Sum256(content)
+}
+
+// CommitXML stores a fetched XML document. It detects the change status
+// against the previous version, computes the delta for updates (labelling
+// doc's nodes with persistent XIDs), bumps the version and updates all
+// metadata. The dtd and domain describe the document class; they may be
+// empty.
+func (s *Store) CommitXML(url, dtd, domain string, doc *xmldom.Document) (*CommitResult, error) {
+	if doc == nil || doc.Root == nil {
+		return nil, errors.New("warehouse: empty document")
+	}
+	sig := Signature([]byte(doc.XML()))
+	now := s.clock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.pages[url]
+	if !ok {
+		meta := Metadata{
+			URL:          url,
+			Filename:     Filename(url),
+			DocID:        s.nextDoc,
+			DTD:          dtd,
+			DTDID:        s.dtdIDLocked(dtd),
+			Domain:       domain,
+			Type:         XML,
+			LastAccessed: now,
+			LastUpdate:   now,
+			Version:      1,
+			Signature:    sig,
+		}
+		s.nextDoc++
+		e = &Entry{Meta: meta, Doc: doc, Base: doc.Clone()}
+		s.pages[url] = e
+		s.indexDomainLocked(domain, url)
+		return &CommitResult{Status: StatusNew, Meta: meta, Doc: doc}, nil
+	}
+	e.Meta.LastAccessed = now
+	if e.Meta.Signature == sig {
+		return &CommitResult{Status: StatusUnchanged, Meta: e.Meta, Old: e.Doc, Doc: e.Doc}, nil
+	}
+	old := e.Doc
+	delta, err := xydiff.Diff(old, doc)
+	if err != nil {
+		// Unrelated root: treat as a wholesale replacement. The old
+		// version chain ends; a fresh one starts.
+		e.Doc = doc
+		e.Base = doc.Clone()
+		e.Deltas = nil
+		e.Meta.Signature = sig
+		e.Meta.LastUpdate = now
+		e.Meta.Version++
+		return &CommitResult{Status: StatusUpdated, Meta: e.Meta, Old: old, Doc: doc}, nil
+	}
+	e.Doc = doc
+	e.Deltas = append(e.Deltas, delta)
+	e.Meta.Signature = sig
+	e.Meta.LastUpdate = now
+	e.Meta.Version++
+	if dtd != "" && dtd != e.Meta.DTD {
+		e.Meta.DTD = dtd
+		e.Meta.DTDID = s.dtdIDLocked(dtd)
+	}
+	if domain != "" && domain != e.Meta.Domain {
+		s.unindexDomainLocked(e.Meta.Domain, url)
+		e.Meta.Domain = domain
+		s.indexDomainLocked(domain, url)
+	}
+	return &CommitResult{Status: StatusUpdated, Meta: e.Meta, Old: old, Doc: doc, Delta: delta}, nil
+}
+
+// CommitHTML records a fetched HTML page: only its signature is kept, so
+// the result status is New, Updated or Unchanged.
+func (s *Store) CommitHTML(url string, content []byte) (*CommitResult, error) {
+	sig := Signature(content)
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.pages[url]
+	if !ok {
+		meta := Metadata{
+			URL:          url,
+			Filename:     Filename(url),
+			DocID:        s.nextDoc,
+			Type:         HTML,
+			LastAccessed: now,
+			LastUpdate:   now,
+			Version:      1,
+			Signature:    sig,
+		}
+		s.nextDoc++
+		s.pages[url] = &Entry{Meta: meta}
+		return &CommitResult{Status: StatusNew, Meta: meta}, nil
+	}
+	e.Meta.LastAccessed = now
+	if e.Meta.Signature == sig {
+		return &CommitResult{Status: StatusUnchanged, Meta: e.Meta}, nil
+	}
+	e.Meta.Signature = sig
+	e.Meta.LastUpdate = now
+	e.Meta.Version++
+	return &CommitResult{Status: StatusUpdated, Meta: e.Meta}, nil
+}
+
+// Delete removes a page, returning its last state with StatusDeleted.
+func (s *Store) Delete(url string) (*CommitResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.pages[url]
+	if !ok {
+		return nil, ErrUnknownURL
+	}
+	delete(s.pages, url)
+	s.unindexDomainLocked(e.Meta.Domain, url)
+	return &CommitResult{Status: StatusDeleted, Meta: e.Meta, Old: e.Doc, Doc: e.Doc}, nil
+}
+
+// Get returns the entry for a URL.
+func (s *Store) Get(url string) (*Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.pages[url]
+	if !ok {
+		return nil, ErrUnknownURL
+	}
+	return e, nil
+}
+
+// Len returns the number of stored pages.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// DomainRoots returns the root elements of every XML document classified
+// in the given domain — the integrated view continuous queries run over.
+func (s *Store) DomainRoots(domain string) []*xmldom.Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var roots []*xmldom.Node
+	for url := range s.domains[domain] {
+		if e := s.pages[url]; e != nil && e.Doc != nil {
+			roots = append(roots, e.Doc.Root)
+		}
+	}
+	return roots
+}
+
+// AllRoots returns the root elements of every warehoused XML document.
+func (s *Store) AllRoots() []*xmldom.Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var roots []*xmldom.Node
+	for _, e := range s.pages {
+		if e.Doc != nil {
+			roots = append(roots, e.Doc.Root)
+		}
+	}
+	return roots
+}
+
+// VersionAt reconstructs version v (1-based) of a document by replaying
+// the delta chain from the first stored version. The current version is
+// returned directly.
+func (s *Store) VersionAt(url string, v int) (*xmldom.Document, error) {
+	s.mu.RLock()
+	e, ok := s.pages[url]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrUnknownURL
+	}
+	if e.Doc == nil {
+		return nil, fmt.Errorf("warehouse: %s is not a warehoused XML page", url)
+	}
+	if v < 1 || v > e.Meta.Version {
+		return nil, fmt.Errorf("warehouse: version %d of %s does not exist (current %d)", v, url, e.Meta.Version)
+	}
+	if v == e.Meta.Version {
+		return e.Doc, nil
+	}
+	// Replay the delta chain forward from the oldest retained version.
+	// When a wholesale replacement reset the chain, versions before the
+	// reset are gone.
+	base := e.Meta.Version - len(e.Deltas)
+	if v < base {
+		return nil, fmt.Errorf("warehouse: version %d of %s predates the retained history", v, url)
+	}
+	doc := e.Base
+	for i := 0; i < v-base; i++ {
+		next, err := xydiff.Apply(doc, e.Deltas[i])
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: replaying version chain of %s: %w", url, err)
+		}
+		doc = next
+	}
+	if doc == e.Base {
+		doc = e.Base.Clone()
+	}
+	return doc, nil
+}
+
+// DTDID returns the stable identifier of a DTD URL, allocating one if
+// needed.
+func (s *Store) DTDID(dtd string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dtdIDLocked(dtd)
+}
+
+func (s *Store) dtdIDLocked(dtd string) uint64 {
+	if dtd == "" {
+		return 0
+	}
+	if id, ok := s.dtdIDs[dtd]; ok {
+		return id
+	}
+	id := s.nextDTD
+	s.nextDTD++
+	s.dtdIDs[dtd] = id
+	return id
+}
+
+func (s *Store) indexDomainLocked(domain, url string) {
+	if domain == "" {
+		return
+	}
+	set := s.domains[domain]
+	if set == nil {
+		set = make(map[string]bool)
+		s.domains[domain] = set
+	}
+	set[url] = true
+}
+
+func (s *Store) unindexDomainLocked(domain, url string) {
+	if set := s.domains[domain]; set != nil {
+		delete(set, url)
+		if len(set) == 0 {
+			delete(s.domains, domain)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package warehouse
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"xymon/internal/xmldom"
+)
+
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time { return c.t }
+func (c *fakeClock) advance(d time.Duration) {
+	c.t = c.t.Add(d)
+}
+
+func newTestStore() (*Store, *fakeClock) {
+	c := &fakeClock{t: time.Date(2001, 5, 21, 9, 0, 0, 0, time.UTC)}
+	return NewStore(WithClock(c.now)), c
+}
+
+func TestCommitXMLNewUpdatedUnchanged(t *testing.T) {
+	s, clock := newTestStore()
+	doc1 := xmldom.MustParse(`<catalog><product>radio</product></catalog>`)
+	r, err := s.CommitXML("http://shop.example/cat.xml", "http://shop.example/cat.dtd", "shopping", doc1)
+	if err != nil {
+		t.Fatalf("CommitXML: %v", err)
+	}
+	if r.Status != StatusNew || r.Meta.DocID == 0 || r.Meta.Version != 1 {
+		t.Errorf("first commit = %+v", r)
+	}
+	if r.Meta.Filename != "cat.xml" {
+		t.Errorf("Filename = %q", r.Meta.Filename)
+	}
+	firstUpdate := r.Meta.LastUpdate
+
+	clock.advance(time.Hour)
+	same := xmldom.MustParse(`<catalog><product>radio</product></catalog>`)
+	r, err = s.CommitXML("http://shop.example/cat.xml", "", "", same)
+	if err != nil {
+		t.Fatalf("CommitXML: %v", err)
+	}
+	if r.Status != StatusUnchanged || r.Meta.Version != 1 {
+		t.Errorf("unchanged commit = %+v", r)
+	}
+	if !r.Meta.LastUpdate.Equal(firstUpdate) {
+		t.Error("LastUpdate must not move on unchanged commit")
+	}
+	if !r.Meta.LastAccessed.After(firstUpdate) {
+		t.Error("LastAccessed must move on every fetch")
+	}
+
+	clock.advance(time.Hour)
+	changed := xmldom.MustParse(`<catalog><product>radio</product><product>tv</product></catalog>`)
+	r, err = s.CommitXML("http://shop.example/cat.xml", "", "", changed)
+	if err != nil {
+		t.Fatalf("CommitXML: %v", err)
+	}
+	if r.Status != StatusUpdated || r.Meta.Version != 2 {
+		t.Errorf("updated commit = %+v", r)
+	}
+	if r.Delta.Empty() {
+		t.Error("update must carry a delta")
+	}
+	if r.Old == nil || r.Old.Root.Size() >= r.Doc.Root.Size() {
+		t.Error("Old must be the previous smaller version")
+	}
+}
+
+func TestCommitXMLRejectsEmpty(t *testing.T) {
+	s, _ := newTestStore()
+	if _, err := s.CommitXML("u", "", "", nil); err == nil {
+		t.Error("nil document should be rejected")
+	}
+}
+
+func TestCommitHTML(t *testing.T) {
+	s, _ := newTestStore()
+	r, err := s.CommitHTML("http://x/index.html", []byte("<html>v1</html>"))
+	if err != nil || r.Status != StatusNew {
+		t.Fatalf("first = %+v, %v", r, err)
+	}
+	if r.Meta.Type != HTML {
+		t.Errorf("Type = %v, want HTML", r.Meta.Type)
+	}
+	r, _ = s.CommitHTML("http://x/index.html", []byte("<html>v1</html>"))
+	if r.Status != StatusUnchanged {
+		t.Errorf("second = %v, want unchanged", r.Status)
+	}
+	r, _ = s.CommitHTML("http://x/index.html", []byte("<html>v2</html>"))
+	if r.Status != StatusUpdated || r.Meta.Version != 2 {
+		t.Errorf("third = %+v", r)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, _ := newTestStore()
+	s.CommitXML("u1", "", "d", xmldom.MustParse(`<a/>`))
+	r, err := s.Delete("u1")
+	if err != nil || r.Status != StatusDeleted {
+		t.Fatalf("Delete = %+v, %v", r, err)
+	}
+	if _, err := s.Get("u1"); err != ErrUnknownURL {
+		t.Errorf("Get after delete = %v, want ErrUnknownURL", err)
+	}
+	if _, err := s.Delete("u1"); err != ErrUnknownURL {
+		t.Errorf("double Delete = %v", err)
+	}
+	if got := s.DomainRoots("d"); len(got) != 0 {
+		t.Errorf("domain index kept deleted page")
+	}
+}
+
+func TestDomainRoots(t *testing.T) {
+	s, _ := newTestStore()
+	s.CommitXML("u1", "", "culture", xmldom.MustParse(`<culture><museum/></culture>`))
+	s.CommitXML("u2", "", "culture", xmldom.MustParse(`<culture><museum/></culture>`))
+	s.CommitXML("u3", "", "biology", xmldom.MustParse(`<bio/>`))
+	s.CommitHTML("u4", []byte("x"))
+	if got := len(s.DomainRoots("culture")); got != 2 {
+		t.Errorf("culture roots = %d, want 2", got)
+	}
+	if got := len(s.DomainRoots("biology")); got != 1 {
+		t.Errorf("biology roots = %d, want 1", got)
+	}
+	if got := len(s.AllRoots()); got != 3 {
+		t.Errorf("all roots = %d, want 3", got)
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+}
+
+func TestDomainReclassification(t *testing.T) {
+	s, _ := newTestStore()
+	s.CommitXML("u1", "", "culture", xmldom.MustParse(`<c><x>1</x></c>`))
+	s.CommitXML("u1", "", "biology", xmldom.MustParse(`<c><x>2</x></c>`))
+	if got := len(s.DomainRoots("culture")); got != 0 {
+		t.Errorf("culture roots = %d, want 0 after reclassification", got)
+	}
+	if got := len(s.DomainRoots("biology")); got != 1 {
+		t.Errorf("biology roots = %d, want 1", got)
+	}
+}
+
+func TestDTDIDStable(t *testing.T) {
+	s, _ := newTestStore()
+	a := s.DTDID("http://x/a.dtd")
+	b := s.DTDID("http://x/b.dtd")
+	if a == b || a == 0 || b == 0 {
+		t.Errorf("DTDIDs = %d, %d", a, b)
+	}
+	if s.DTDID("http://x/a.dtd") != a {
+		t.Error("DTDID must be stable")
+	}
+	if s.DTDID("") != 0 {
+		t.Error("empty DTD has id 0")
+	}
+}
+
+func TestVersionAtReplaysHistory(t *testing.T) {
+	s, _ := newTestStore()
+	versions := []string{
+		`<cat><p>a</p></cat>`,
+		`<cat><p>a</p><p>b</p></cat>`,
+		`<cat><p>a2</p><p>b</p><p>c</p></cat>`,
+	}
+	for _, v := range versions {
+		if _, err := s.CommitXML("u", "", "", xmldom.MustParse(v)); err != nil {
+			t.Fatalf("CommitXML: %v", err)
+		}
+	}
+	for i, want := range versions {
+		doc, err := s.VersionAt("u", i+1)
+		if err != nil {
+			t.Fatalf("VersionAt(%d): %v", i+1, err)
+		}
+		wantDoc := xmldom.MustParse(want)
+		if doc.XML() != wantDoc.XML() {
+			t.Errorf("VersionAt(%d) = %s, want %s", i+1, doc.XML(), wantDoc.XML())
+		}
+	}
+	if _, err := s.VersionAt("u", 0); err == nil {
+		t.Error("VersionAt(0) should fail")
+	}
+	if _, err := s.VersionAt("u", 4); err == nil {
+		t.Error("VersionAt(4) should fail")
+	}
+	if _, err := s.VersionAt("nope", 1); err != ErrUnknownURL {
+		t.Errorf("VersionAt(unknown) = %v", err)
+	}
+}
+
+func TestVersionAtHTMLFails(t *testing.T) {
+	s, _ := newTestStore()
+	s.CommitHTML("h", []byte("x"))
+	if _, err := s.VersionAt("h", 1); err == nil {
+		t.Error("VersionAt on HTML should fail")
+	}
+}
+
+func TestWholesaleReplacementResetsChain(t *testing.T) {
+	s, _ := newTestStore()
+	s.CommitXML("u", "", "", xmldom.MustParse(`<a><x>1</x></a>`))
+	r, err := s.CommitXML("u", "", "", xmldom.MustParse(`<b><y>2</y></b>`))
+	if err != nil {
+		t.Fatalf("CommitXML: %v", err)
+	}
+	if r.Status != StatusUpdated || r.Meta.Version != 2 {
+		t.Errorf("replacement = %+v", r)
+	}
+	if r.Delta != nil {
+		t.Error("wholesale replacement has no delta")
+	}
+	if _, err := s.VersionAt("u", 1); err == nil {
+		t.Error("version before a replacement should be unavailable")
+	}
+	if doc, err := s.VersionAt("u", 2); err != nil || doc.Root.Tag != "b" {
+		t.Errorf("VersionAt(2) = %v, %v", doc, err)
+	}
+}
+
+func TestFilename(t *testing.T) {
+	cases := map[string]string{
+		"http://a/b/c.xml": "c.xml",
+		"http://a/":        "",
+		"plain":            "plain",
+	}
+	for in, want := range cases {
+		if got := Filename(in); got != want {
+			t.Errorf("Filename(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestConcurrentCommits exercises the store's locking: concurrent commits
+// to disjoint URLs plus readers on the domain views. Run with -race.
+func TestConcurrentCommits(t *testing.T) {
+	s, _ := newTestStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			url := fmt.Sprintf("http://conc.example/p%d.xml", g)
+			for v := 0; v < 40; v++ {
+				doc := xmldom.MustParse(fmt.Sprintf("<d><v>%d</v></d>", v))
+				if _, err := s.CommitXML(url, "", "load", doc); err != nil {
+					t.Errorf("CommitXML: %v", err)
+					return
+				}
+				s.DomainRoots("load")
+				s.AllRoots()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	for g := 0; g < 8; g++ {
+		e, err := s.Get(fmt.Sprintf("http://conc.example/p%d.xml", g))
+		if err != nil || e.Meta.Version != 40 {
+			t.Errorf("page %d: version %d, err %v", g, e.Meta.Version, err)
+		}
+	}
+}
+
+// TestVersionChainDepth replays a long version chain.
+func TestVersionChainDepth(t *testing.T) {
+	s, _ := newTestStore()
+	const versions = 50
+	for v := 1; v <= versions; v++ {
+		doc := xmldom.MustParse(fmt.Sprintf("<d><v>%d</v></d>", v))
+		if _, err := s.CommitXML("u", "", "", doc); err != nil {
+			t.Fatalf("CommitXML: %v", err)
+		}
+	}
+	for _, v := range []int{1, 25, 50} {
+		doc, err := s.VersionAt("u", v)
+		if err != nil {
+			t.Fatalf("VersionAt(%d): %v", v, err)
+		}
+		if want := fmt.Sprintf("<d><v>%d</v></d>", v); doc.XML() != want {
+			t.Errorf("VersionAt(%d) = %s", v, doc.XML())
+		}
+	}
+}

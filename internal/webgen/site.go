@@ -1,0 +1,285 @@
+package webgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"xymon/internal/xmldom"
+)
+
+// words is the vocabulary of generated documents. Queries in examples and
+// benches monitor words from this list.
+var words = []string{
+	"camera", "radio", "television", "computer", "keyboard", "monitor",
+	"printer", "scanner", "speaker", "amplifier", "turntable", "tuner",
+	"electronic", "digital", "analog", "portable", "wireless", "stereo",
+	"battery", "charger", "cable", "adapter", "antenna", "remote",
+	"painting", "sculpture", "museum", "gallery", "genome", "protein",
+}
+
+// Vocabulary returns the word list used by generated documents.
+func Vocabulary() []string { return append([]string(nil), words...) }
+
+// SiteSpec describes a synthetic site of evolving XML catalog pages.
+type SiteSpec struct {
+	BaseURL  string // e.g. "http://shop0.example/"
+	Pages    int    // catalog pages on the site
+	Products int    // products per catalog at version 1
+	Seed     int64
+	Domain   string // semantic domain of the site's documents
+	DTD      string // DTD URL advertised by the documents
+	// Churn controls evolution: per version, roughly Churn product
+	// updates, one insertion every other version and one deletion every
+	// third version per page.
+	Churn int
+	// HTMLShare adds this many plain HTML pages that change their content
+	// every version.
+	HTMLShare int
+	// Lifetime, when positive, makes each XML page disappear from the
+	// site after that many versions (staggered per page), so crawls
+	// observe page deletions — the paper's `deleted self` events.
+	Lifetime int
+	// HiddenPages adds XML catalog pages that are not listed in XMLURLs:
+	// they are only reachable through links on the site's HTML pages, and
+	// the links appear gradually (hidden page i is linked from version
+	// i+2 on), so a link-following crawler discovers new pages over time
+	// — the paper's "discovery of a new page" scenario (Section 1).
+	HiddenPages int
+}
+
+// Site is a deterministic synthetic web site: Fetch(url, version) always
+// returns the same content for the same (url, version) pair, so crawls are
+// reproducible and change detection sees realistic evolving documents.
+type Site struct {
+	spec SiteSpec
+}
+
+// NewSite builds a site from its spec, applying defaults for zero fields.
+func NewSite(spec SiteSpec) *Site {
+	if spec.BaseURL == "" {
+		spec.BaseURL = "http://site.example/"
+	}
+	if !strings.HasSuffix(spec.BaseURL, "/") {
+		spec.BaseURL += "/"
+	}
+	if spec.Pages == 0 {
+		spec.Pages = 4
+	}
+	if spec.Products == 0 {
+		spec.Products = 8
+	}
+	if spec.Churn == 0 {
+		spec.Churn = 2
+	}
+	if spec.Domain == "" {
+		spec.Domain = "shopping"
+	}
+	if spec.DTD == "" {
+		spec.DTD = spec.BaseURL + "dtd/catalog.dtd"
+	}
+	return &Site{spec: spec}
+}
+
+// Spec returns the site's specification.
+func (s *Site) Spec() SiteSpec { return s.spec }
+
+// XMLURLs lists the site's XML catalog page URLs.
+func (s *Site) XMLURLs() []string {
+	urls := make([]string, s.spec.Pages)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("%scatalog%d.xml", s.spec.BaseURL, i)
+	}
+	return urls
+}
+
+// HTMLURLs lists the site's HTML page URLs.
+func (s *Site) HTMLURLs() []string {
+	urls := make([]string, s.spec.HTMLShare)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("%spage%d.html", s.spec.BaseURL, i)
+	}
+	return urls
+}
+
+// HiddenURLs lists the XML pages reachable only through HTML links.
+func (s *Site) HiddenURLs() []string {
+	urls := make([]string, s.spec.HiddenPages)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("%shidden%d.xml", s.spec.BaseURL, i)
+	}
+	return urls
+}
+
+// URLs lists every directly-known page of the site, XML first (hidden
+// pages are excluded: a crawler finds them through links).
+func (s *Site) URLs() []string {
+	return append(s.XMLURLs(), s.HTMLURLs()...)
+}
+
+// Owns reports whether a URL belongs to this site.
+func (s *Site) Owns(url string) bool {
+	return strings.HasPrefix(url, s.spec.BaseURL)
+}
+
+// IsHTML reports whether a URL of this site is an HTML page.
+func (s *Site) IsHTML(url string) bool {
+	return strings.HasSuffix(url, ".html")
+}
+
+// Alive reports whether the page still exists at the given version. Pages
+// of sites with a Lifetime disappear after Lifetime versions, staggered by
+// a per-page offset so a crawl sees deletions spread over time.
+func (s *Site) Alive(url string, version int) bool {
+	if s.spec.Lifetime <= 0 {
+		return true
+	}
+	offset := int(uint64(s.pageSeed(url)) % uint64(s.spec.Lifetime))
+	return version <= s.spec.Lifetime+offset
+}
+
+func (s *Site) pageSeed(url string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(url))
+	return s.spec.Seed ^ int64(h.Sum64())
+}
+
+// FetchXML renders catalog page url at the given version (1-based). The
+// catalog starts with Products products; each later version applies a
+// deterministic mix of price updates, insertions and deletions, so
+// successive versions produce realistic XyDelta output.
+func (s *Site) FetchXML(url string, version int) *xmldom.Document {
+	if version < 1 {
+		version = 1
+	}
+	rng := rand.New(rand.NewSource(s.pageSeed(url)))
+	type product struct {
+		id       int
+		name     string
+		category string
+		price    int
+	}
+	var items []product
+	nextID := 0
+	add := func() {
+		items = append(items, product{
+			id:       nextID,
+			name:     words[rng.Intn(len(words))],
+			category: words[rng.Intn(len(words))],
+			price:    10 + rng.Intn(990),
+		})
+		nextID++
+	}
+	for i := 0; i < s.spec.Products; i++ {
+		add()
+	}
+	for v := 2; v <= version; v++ {
+		for c := 0; c < s.spec.Churn && len(items) > 0; c++ {
+			items[rng.Intn(len(items))].price = 10 + rng.Intn(990)
+		}
+		if v%2 == 0 {
+			add()
+		}
+		if v%3 == 0 && len(items) > 1 {
+			i := rng.Intn(len(items))
+			items = append(items[:i], items[i+1:]...)
+		}
+	}
+	root := xmldom.Element("catalog")
+	root.WithAttr("site", s.spec.BaseURL)
+	for _, it := range items {
+		p := xmldom.Element("product",
+			xmldom.Element("name", xmldom.Text(it.name)),
+			xmldom.Element("category", xmldom.Text(it.category)),
+			xmldom.Element("price", xmldom.Text(fmt.Sprintf("%d", it.price))),
+		)
+		p.WithAttr("id", fmt.Sprintf("p%d", it.id))
+		root.AppendChild(p)
+	}
+	return xmldom.NewDocument(root)
+}
+
+// FetchHTML renders HTML page url at the given version. The page links to
+// the site's catalog pages, and — from version i+2 on — to hidden page i,
+// so crawls following links discover new pages over time.
+func (s *Site) FetchHTML(url string, version int) []byte {
+	if version < 1 {
+		version = 1
+	}
+	rng := rand.New(rand.NewSource(s.pageSeed(url) + int64(version)))
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	for i := 0; i < 20; i++ {
+		b.WriteString(words[rng.Intn(len(words))])
+		b.WriteString(" ")
+	}
+	for _, link := range s.XMLURLs() {
+		fmt.Fprintf(&b, `<a href="%s">catalog</a> `, link)
+	}
+	for i, link := range s.HiddenURLs() {
+		if version >= i+2 {
+			fmt.Fprintf(&b, `<a href="%s">new page</a> `, link)
+		}
+	}
+	fmt.Fprintf(&b, "version %d</body></html>", version)
+	return []byte(b.String())
+}
+
+// ExtractLinks scans HTML content for href attributes — the link
+// extraction the real crawler performs to discover pages.
+func ExtractLinks(content []byte) []string {
+	var out []string
+	s := string(content)
+	for {
+		i := strings.Index(s, `href="`)
+		if i < 0 {
+			return out
+		}
+		s = s[i+len(`href="`):]
+		j := strings.IndexByte(s, '"')
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[:j])
+		s = s[j+1:]
+	}
+}
+
+// RandomTree generates a random XML document with the given approximate
+// node count and depth, for the XML-alerter size/depth sweeps (Section 6.3
+// bounds the alerter cost by Size × Depth).
+func RandomTree(seed int64, size, depth int) *xmldom.Document {
+	rng := rand.New(rand.NewSource(seed))
+	if depth < 2 {
+		depth = 2
+	}
+	if size < 2 {
+		size = 2
+	}
+	root := xmldom.Element("doc")
+	nodes := 1
+	// Fill level by level, attaching children to random nodes of the
+	// previous level to hit the requested depth, then pad breadth-first.
+	levels := [][]*xmldom.Node{{root}}
+	for l := 1; l < depth && nodes < size; l++ {
+		parent := levels[l-1][rng.Intn(len(levels[l-1]))]
+		e := xmldom.Element(fmt.Sprintf("e%d", rng.Intn(20)))
+		parent.AppendChild(e)
+		levels = append(levels, []*xmldom.Node{e})
+		nodes++
+	}
+	for nodes < size {
+		l := 1 + rng.Intn(len(levels)-1)
+		parent := levels[l-1][rng.Intn(len(levels[l-1]))]
+		if rng.Intn(3) == 0 {
+			parent.AppendChild(xmldom.Text(words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]))
+		} else {
+			e := xmldom.Element(fmt.Sprintf("e%d", rng.Intn(20)))
+			parent.AppendChild(e)
+			levels[l] = append(levels[l], e)
+		}
+		nodes++
+	}
+	return xmldom.NewDocument(root)
+}

@@ -1,0 +1,26 @@
+package xmldom
+
+import "testing"
+
+// FuzzParse checks the XML parser never panics and that accepted
+// documents serialise to a fixed point.
+func FuzzParse(f *testing.F) {
+	f.Add(`<catalog><product><name>radio</name></product></catalog>`)
+	f.Add(`<a x="1">text<b/>&amp;</a>`)
+	f.Add(`<a><b></a></b>`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		out := d.XML()
+		d2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("serialised form does not reparse: %q -> %q: %v", src, out, err)
+		}
+		if d2.XML() != out {
+			t.Fatalf("serialisation not a fixed point: %q vs %q", out, d2.XML())
+		}
+	})
+}

@@ -1,0 +1,301 @@
+// Package xmldom provides the small DOM used throughout the system: the
+// XML alerter walks documents in postorder (Section 6.3), the diff layer
+// labels elements with persistent XIDs (Section 5.2), and the query
+// processor evaluates path expressions over trees. It is built on the
+// encoding/xml tokenizer from the standard library.
+package xmldom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeType distinguishes element nodes from data (text) nodes, the two DOM
+// node kinds the paper relies on.
+type NodeType int
+
+const (
+	// ElementNode is a tagged node with attributes and children.
+	ElementNode NodeType = iota
+	// TextNode is a data node carrying character content.
+	TextNode
+)
+
+// XID is the persistent identifier attached to nodes. XIDs are the
+// foundation of the XyDelta naming scheme: an element keeps its XID across
+// versions, so deltas can reference elements compactly and a new version
+// can be rebuilt from the old version plus the delta.
+type XID uint64
+
+// Attr is one attribute of an element node.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is a DOM node. Fields are exported because the alerters, the diff
+// and the query processor all traverse the tree directly.
+type Node struct {
+	Type     NodeType
+	Tag      string // element nodes only
+	Text     string // text nodes only
+	Attrs    []Attr
+	Children []*Node
+	Parent   *Node
+	XID      XID
+}
+
+// Document is a parsed XML document: a single root element plus the XID
+// counter used to label nodes of future versions.
+type Document struct {
+	Root    *Node
+	nextXID XID
+}
+
+// NewDocument wraps root into a document and labels every unlabelled node.
+func NewDocument(root *Node) *Document {
+	d := &Document{Root: root, nextXID: 1}
+	d.Relabel()
+	return d
+}
+
+// NextXID reserves and returns a fresh XID.
+func (d *Document) NextXID() XID {
+	x := d.nextXID
+	d.nextXID++
+	return x
+}
+
+// SetNextXID moves the XID counter forward; it never moves it back.
+func (d *Document) SetNextXID(x XID) {
+	if x > d.nextXID {
+		d.nextXID = x
+	}
+}
+
+// Relabel assigns fresh XIDs to every node with XID zero, fixing parent
+// links along the way. Existing XIDs are preserved so version chains keep
+// stable identifiers.
+func (d *Document) Relabel() {
+	if d.Root == nil {
+		return
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.XID == 0 {
+			n.XID = d.nextXID
+			d.nextXID++
+		} else if n.XID >= d.nextXID {
+			d.nextXID = n.XID + 1
+		}
+		for _, c := range n.Children {
+			c.Parent = n
+			walk(c)
+		}
+	}
+	walk(d.Root)
+}
+
+// Element returns a new element node.
+func Element(tag string, children ...*Node) *Node {
+	n := &Node{Type: ElementNode, Tag: tag, Children: children}
+	for _, c := range children {
+		c.Parent = n
+	}
+	return n
+}
+
+// Text returns a new data node.
+func Text(s string) *Node {
+	return &Node{Type: TextNode, Text: s}
+}
+
+// WithAttr adds an attribute to an element node and returns it, enabling
+// fluent construction in tests and generators.
+func (n *Node) WithAttr(name, value string) *Node {
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+	return n
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AppendChild adds c as the last child of n.
+func (n *Node) AppendChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// InsertChild inserts c at position i among n's children.
+func (n *Node) InsertChild(i int, c *Node) {
+	if i < 0 {
+		i = 0
+	}
+	if i > len(n.Children) {
+		i = len(n.Children)
+	}
+	c.Parent = n
+	n.Children = append(n.Children, nil)
+	copy(n.Children[i+1:], n.Children[i:])
+	n.Children[i] = c
+}
+
+// RemoveChild removes the child at position i and returns it.
+func (n *Node) RemoveChild(i int) *Node {
+	c := n.Children[i]
+	copy(n.Children[i:], n.Children[i+1:])
+	n.Children = n.Children[:len(n.Children)-1]
+	c.Parent = nil
+	return c
+}
+
+// ChildIndex returns the position of c among n's children, or -1.
+func (n *Node) ChildIndex(c *Node) int {
+	for i, x := range n.Children {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Level returns the depth of the node: 0 for the root.
+func (n *Node) Level() int {
+	l := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		l++
+	}
+	return l
+}
+
+// Clone returns a deep copy of the subtree rooted at n. XIDs are copied,
+// so the clone refers to the same persistent identities.
+func (n *Node) Clone() *Node {
+	c := &Node{Type: n.Type, Tag: n.Tag, Text: n.Text, XID: n.XID}
+	if len(n.Attrs) > 0 {
+		c.Attrs = append([]Attr(nil), n.Attrs...)
+	}
+	for _, ch := range n.Children {
+		cc := ch.Clone()
+		cc.Parent = c
+		c.Children = append(c.Children, cc)
+	}
+	return c
+}
+
+// Clone deep-copies the document, preserving XIDs and the XID counter.
+func (d *Document) Clone() *Document {
+	if d == nil {
+		return nil
+	}
+	c := &Document{nextXID: d.nextXID}
+	if d.Root != nil {
+		c.Root = d.Root.Clone()
+	}
+	return c
+}
+
+// TextContent concatenates the text of all data nodes in the subtree, in
+// document order, separated by single spaces.
+func (n *Node) TextContent() string {
+	var b strings.Builder
+	var walk func(x *Node)
+	walk = func(x *Node) {
+		if x.Type == TextNode {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(x.Text)
+			return
+		}
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return b.String()
+}
+
+// PostOrder calls visit for every node of the subtree in postorder — the
+// traversal the XML alerter's word-detection algorithm is built on. If
+// visit returns false the traversal stops.
+func (n *Node) PostOrder(visit func(*Node) bool) bool {
+	for _, c := range n.Children {
+		if !c.PostOrder(visit) {
+			return false
+		}
+	}
+	return visit(n)
+}
+
+// PreOrder calls visit for every node of the subtree in preorder (document
+// order). If visit returns false the traversal stops.
+func (n *Node) PreOrder(visit func(*Node) bool) bool {
+	if !visit(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.PreOrder(visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// FindByXID returns the node with the given XID in the subtree, or nil.
+func (n *Node) FindByXID(x XID) *Node {
+	var found *Node
+	n.PreOrder(func(c *Node) bool {
+		if c.XID == x {
+			found = c
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Size returns the number of nodes in the subtree.
+func (n *Node) Size() int {
+	count := 0
+	n.PreOrder(func(*Node) bool { count++; return true })
+	return count
+}
+
+// Depth returns the height of the subtree: 1 for a leaf.
+func (n *Node) Depth() int {
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Elements returns all element nodes with the given tag in the subtree, in
+// document order.
+func (n *Node) Elements(tag string) []*Node {
+	var out []*Node
+	n.PreOrder(func(c *Node) bool {
+		if c.Type == ElementNode && c.Tag == tag {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+func (n *Node) String() string {
+	if n.Type == TextNode {
+		return fmt.Sprintf("#text(%q)", n.Text)
+	}
+	return fmt.Sprintf("<%s xid=%d children=%d>", n.Tag, n.XID, len(n.Children))
+}

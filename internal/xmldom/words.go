@@ -1,0 +1,54 @@
+package xmldom
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Words splits text into lower-cased words: maximal runs of letters and
+// digits. This is the tokenisation shared by the `contains` conditions of
+// the subscription language and the alerters' word tables, so "Camera,
+// digital!" contains the word "camera".
+func Words(text string) []string {
+	var words []string
+	start := -1
+	lower := strings.ToLower(text)
+	for i, r := range lower {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			words = append(words, lower[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		words = append(words, lower[start:])
+	}
+	return words
+}
+
+// ContainsWord reports whether the word (already lower-case) occurs in
+// text under the Words tokenisation.
+func ContainsWord(text, word string) bool {
+	for _, w := range Words(text) {
+		if w == word {
+			return true
+		}
+	}
+	return false
+}
+
+// NormalizeWord lower-cases a query word so it compares against Words
+// output. Returns the empty string when the input contains no letters or
+// digits.
+func NormalizeWord(s string) string {
+	ws := Words(s)
+	if len(ws) == 0 {
+		return ""
+	}
+	return strings.Join(ws, " ")
+}

@@ -1,0 +1,178 @@
+package xydiff
+
+import (
+	"fmt"
+
+	"xymon/internal/xmldom"
+)
+
+// Apply reconstructs the new version from the old version and a delta
+// produced by Diff. The old document is not modified. This is the XyDelta
+// property the versioning mechanism relies on: old + delta = new.
+func Apply(old *xmldom.Document, delta *Delta) (*xmldom.Document, error) {
+	if old == nil || old.Root == nil {
+		return nil, fmt.Errorf("xydiff: apply on empty document")
+	}
+	doc := old.Clone()
+	if delta.Empty() {
+		return doc, nil
+	}
+	index := make(map[xmldom.XID]*xmldom.Node)
+	doc.Root.PreOrder(func(n *xmldom.Node) bool {
+		index[n.XID] = n
+		return true
+	})
+	for _, op := range delta.Ops {
+		switch op.Kind {
+		case OpDelete:
+			n := index[op.XID]
+			if n == nil {
+				return nil, fmt.Errorf("xydiff: delete of unknown node %d", op.XID)
+			}
+			if n.Parent == nil {
+				return nil, fmt.Errorf("xydiff: cannot delete the root")
+			}
+			i := n.Parent.ChildIndex(n)
+			n.Parent.RemoveChild(i)
+			n.PreOrder(func(c *xmldom.Node) bool {
+				delete(index, c.XID)
+				return true
+			})
+		case OpUpdate:
+			n := index[op.XID]
+			if n == nil {
+				return nil, fmt.Errorf("xydiff: update of unknown node %d", op.XID)
+			}
+			if op.TextChanged {
+				n.Text = op.NewText
+			}
+			if op.AttrsChanged {
+				n.Attrs = append([]xmldom.Attr(nil), op.NewAttrs...)
+			}
+		case OpInsert:
+			parent := index[op.Parent]
+			if parent == nil {
+				return nil, fmt.Errorf("xydiff: insert under unknown parent %d", op.Parent)
+			}
+			if op.Pos < 0 || op.Pos > len(parent.Children) {
+				return nil, fmt.Errorf("xydiff: insert position %d out of range under %d", op.Pos, op.Parent)
+			}
+			sub := op.Subtree.Clone()
+			parent.InsertChild(op.Pos, sub)
+			sub.PreOrder(func(c *xmldom.Node) bool {
+				index[c.XID] = c
+				return true
+			})
+		default:
+			return nil, fmt.Errorf("xydiff: unknown op kind %v", op.Kind)
+		}
+	}
+	doc.Relabel()
+	return doc, nil
+}
+
+// ChangeKind classifies an element of the new version for the element-level
+// conditions of the subscription language (Section 5.1): new, updated,
+// deleted, unchanged.
+type ChangeKind int
+
+const (
+	// Unchanged: the element and its whole subtree are identical in both versions.
+	Unchanged ChangeKind = iota
+	// New: the element was inserted (it is inside an inserted subtree).
+	New
+	// Updated: something changed inside the element's subtree.
+	Updated
+	// Deleted: the element existed in the old version only.
+	Deleted
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case Unchanged:
+		return "unchanged"
+	case New:
+		return "new"
+	case Updated:
+		return "updated"
+	case Deleted:
+		return "deleted"
+	}
+	return fmt.Sprintf("ChangeKind(%d)", int(k))
+}
+
+// Classification maps the delta onto the new version's elements: which
+// element nodes are new, which are updated (a change happened inside their
+// subtree), and the subtrees that were deleted. This is the form the XML
+// alerter consumes to raise `new tag`, `updated tag` and `deleted tag`
+// atomic events.
+type Classification struct {
+	// NewElems are element nodes of the new version inside inserted subtrees.
+	NewElems []*xmldom.Node
+	// UpdatedElems are element nodes of the new version whose subtree
+	// changed (ancestors of any operation, and updated nodes themselves).
+	UpdatedElems []*xmldom.Node
+	// DeletedSubtrees are the removed subtrees, with their old XIDs.
+	DeletedSubtrees []*xmldom.Node
+}
+
+// Classify projects a delta onto the new version of the document. The new
+// version must be the one labelled by Diff (XIDs shared with the delta).
+func Classify(newDoc *xmldom.Document, delta *Delta) *Classification {
+	cl := &Classification{}
+	if delta.Empty() {
+		return cl
+	}
+	index := make(map[xmldom.XID]*xmldom.Node)
+	newDoc.Root.PreOrder(func(n *xmldom.Node) bool {
+		index[n.XID] = n
+		return true
+	})
+	newSet := make(map[*xmldom.Node]bool)
+	updSet := make(map[*xmldom.Node]bool)
+	markAncestors := func(n *xmldom.Node) {
+		for p := n; p != nil; p = p.Parent {
+			if p.Type == xmldom.ElementNode && !newSet[p] {
+				updSet[p] = true
+			}
+		}
+	}
+	for _, op := range delta.Ops {
+		switch op.Kind {
+		case OpInsert:
+			root := index[op.XID]
+			if root == nil {
+				continue
+			}
+			root.PreOrder(func(c *xmldom.Node) bool {
+				if c.Type == xmldom.ElementNode {
+					newSet[c] = true
+				}
+				return true
+			})
+			markAncestors(root.Parent)
+		case OpDelete:
+			cl.DeletedSubtrees = append(cl.DeletedSubtrees, op.Subtree)
+			// The parent of a deleted subtree survives in the new version
+			// (same XID); it and its ancestors are updated.
+			if p := index[op.Parent]; p != nil {
+				markAncestors(p)
+			}
+		case OpUpdate:
+			n := index[op.XID]
+			if n == nil {
+				continue
+			}
+			markAncestors(n)
+		}
+	}
+	newDoc.Root.PreOrder(func(n *xmldom.Node) bool {
+		if newSet[n] {
+			cl.NewElems = append(cl.NewElems, n)
+		} else if updSet[n] {
+			cl.UpdatedElems = append(cl.UpdatedElems, n)
+		}
+		return true
+	})
+	return cl
+}

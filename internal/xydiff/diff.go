@@ -1,0 +1,294 @@
+// Package xydiff computes and applies deltas between versions of an XML
+// document, in the spirit of the XyDelta mechanism the paper builds on
+// (Section 5.2 and [17]): elements carry persistent XIDs, a delta lists
+// inserted, deleted and updated nodes in terms of those XIDs, and the new
+// version of a document can be reconstructed from the old version plus the
+// delta. The XML alerter uses the delta to raise element-level change
+// events ("new Product", "updated Product contains camera"), and the
+// trigger engine uses it to report only the changes of a continuous query
+// result.
+package xydiff
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"xymon/internal/xmldom"
+)
+
+// OpKind is the kind of a delta operation.
+type OpKind int
+
+const (
+	// OpInsert inserts a subtree under Parent at position Pos.
+	OpInsert OpKind = iota
+	// OpDelete removes the subtree rooted at XID.
+	OpDelete
+	// OpUpdate changes the text of a data node or the attributes of an
+	// element node, in place.
+	OpUpdate
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpUpdate:
+		return "update"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one delta operation.
+type Op struct {
+	Kind         OpKind
+	XID          xmldom.XID    // target node (delete/update) or inserted subtree root
+	Parent       xmldom.XID    // insert: parent element
+	Pos          int           // insert: position among the parent's children in the new version
+	Subtree      *xmldom.Node  // insert: subtree added (carries final XIDs); delete: removed subtree (old XIDs)
+	NewText      string        // update of a data node
+	NewAttrs     []xmldom.Attr // update of an element's attributes
+	TextChanged  bool
+	AttrsChanged bool
+}
+
+// Delta is an ordered list of operations turning the old version into the
+// new one. An empty Ops list means the versions are identical.
+type Delta struct {
+	Ops []Op
+}
+
+// Empty reports whether the delta carries no change.
+func (d *Delta) Empty() bool { return d == nil || len(d.Ops) == 0 }
+
+// Diff compares two versions of a document. It labels the nodes of the new
+// version in place: nodes matched with the old version inherit its XIDs,
+// unmatched (inserted) nodes receive fresh XIDs drawn from the old
+// document's counter. It returns the delta from old to new.
+//
+// Matching is order-preserving per level: children lists are aligned with
+// a weighted LCS that strongly prefers identical subtrees (equal hashes)
+// and otherwise pairs nodes of the same kind and tag, which keeps deltas
+// small on typical edits while guaranteeing Apply reconstructs the new
+// version exactly.
+func Diff(old, new *xmldom.Document) (*Delta, error) {
+	if old == nil || old.Root == nil || new == nil || new.Root == nil {
+		return nil, errors.New("xydiff: both versions must have a root")
+	}
+	d := &differ{doc: old, delta: &Delta{}}
+	oh := hashTree(old.Root)
+	nh := hashTree(new.Root)
+	if old.Root.Type != new.Root.Type || old.Root.Tag != new.Root.Tag {
+		return nil, errors.New("xydiff: root elements differ; versions are unrelated documents")
+	}
+	d.matchNodes(old.Root, new.Root, oh, nh)
+	new.SetNextXID(old.NextXID())
+	return d.delta, nil
+}
+
+type differ struct {
+	doc   *xmldom.Document // old document: supplies fresh XIDs
+	delta *Delta
+}
+
+type hashes map[*xmldom.Node]uint64
+
+// hashTree computes a structural hash for every node of the subtree:
+// identical subtrees (tags, attributes, text, order) share a hash.
+func hashTree(root *xmldom.Node) hashes {
+	h := make(hashes)
+	var walk func(n *xmldom.Node) uint64
+	walk = func(n *xmldom.Node) uint64 {
+		f := fnv.New64a()
+		if n.Type == xmldom.TextNode {
+			f.Write([]byte{'t'})
+			f.Write([]byte(n.Text))
+		} else {
+			f.Write([]byte{'e'})
+			f.Write([]byte(n.Tag))
+			for _, a := range n.Attrs {
+				f.Write([]byte{0})
+				f.Write([]byte(a.Name))
+				f.Write([]byte{1})
+				f.Write([]byte(a.Value))
+			}
+			for _, c := range n.Children {
+				ch := walk(c)
+				var buf [8]byte
+				for i := 0; i < 8; i++ {
+					buf[i] = byte(ch >> (8 * i))
+				}
+				f.Write(buf[:])
+			}
+		}
+		v := f.Sum64()
+		h[n] = v
+		return v
+	}
+	walk(root)
+	return h
+}
+
+// propagateXIDs copies XIDs from an old subtree to a structurally
+// identical new subtree.
+func propagateXIDs(old, new *xmldom.Node) {
+	new.XID = old.XID
+	for i := range new.Children {
+		propagateXIDs(old.Children[i], new.Children[i])
+	}
+}
+
+// labelFresh assigns fresh XIDs to every node of an inserted subtree.
+func (d *differ) labelFresh(n *xmldom.Node) {
+	n.XID = d.doc.NextXID()
+	for _, c := range n.Children {
+		d.labelFresh(c)
+	}
+}
+
+// matchNodes handles a matched pair (same kind; same tag for elements).
+func (d *differ) matchNodes(old, new *xmldom.Node, oh, nh hashes) {
+	new.XID = old.XID
+	if oh[old] == nh[new] {
+		// Identical subtrees: just propagate identities.
+		propagateXIDs(old, new)
+		return
+	}
+	if old.Type == xmldom.TextNode {
+		if old.Text != new.Text {
+			d.delta.Ops = append(d.delta.Ops, Op{
+				Kind: OpUpdate, XID: old.XID, NewText: new.Text, TextChanged: true,
+			})
+		}
+		return
+	}
+	if !attrsEqual(old.Attrs, new.Attrs) {
+		d.delta.Ops = append(d.delta.Ops, Op{
+			Kind: OpUpdate, XID: old.XID,
+			NewAttrs: append([]xmldom.Attr(nil), new.Attrs...), AttrsChanged: true,
+		})
+	}
+	pairs := alignChildren(old.Children, new.Children, oh, nh)
+	oldMatched := make([]bool, len(old.Children))
+	newMatched := make([]bool, len(new.Children))
+	for _, p := range pairs {
+		oldMatched[p.i] = true
+		newMatched[p.j] = true
+	}
+	// Deletions first (they reference old XIDs only). Parent records the
+	// surviving element (same XID in both versions) for classification.
+	for i, c := range old.Children {
+		if !oldMatched[i] {
+			d.delta.Ops = append(d.delta.Ops, Op{Kind: OpDelete, XID: c.XID, Parent: old.XID, Subtree: c.Clone()})
+		}
+	}
+	// Recurse into matched pairs.
+	for _, p := range pairs {
+		d.matchNodes(old.Children[p.i], new.Children[p.j], oh, nh)
+	}
+	// Insertions, positioned in the new children list.
+	for j, c := range new.Children {
+		if !newMatched[j] {
+			d.labelFresh(c)
+			d.delta.Ops = append(d.delta.Ops, Op{
+				Kind: OpInsert, XID: c.XID, Parent: old.XID, Pos: j, Subtree: c.Clone(),
+			})
+		}
+	}
+}
+
+func attrsEqual(a, b []xmldom.Attr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type pair struct{ i, j int }
+
+// alignChildren computes an order-preserving matching between two children
+// lists. Weighted LCS: identical subtrees dominate; among compatible nodes
+// (same kind and tag) the score grows with the number of identical child
+// subtrees, so an edited element pairs with its former self rather than
+// with an arbitrary same-tag sibling; incompatible nodes never match.
+func alignChildren(old, new []*xmldom.Node, oh, nh hashes) []pair {
+	n, m := len(old), len(new)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	const identical = 1 << 20
+	common := func(a, b *xmldom.Node) int {
+		if len(a.Children) == 0 || len(b.Children) == 0 {
+			return 0
+		}
+		counts := make(map[uint64]int, len(a.Children))
+		for _, c := range a.Children {
+			counts[oh[c]]++
+		}
+		shared := 0
+		for _, c := range b.Children {
+			if counts[nh[c]] > 0 {
+				counts[nh[c]]--
+				shared++
+			}
+		}
+		return shared
+	}
+	score := func(a, b *xmldom.Node) int {
+		if a.Type != b.Type {
+			return 0
+		}
+		if a.Type == xmldom.ElementNode && a.Tag != b.Tag {
+			return 0
+		}
+		if oh[a] == nh[b] {
+			return identical
+		}
+		return 1 + common(a, b)
+	}
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			best := dp[i-1][j]
+			if dp[i][j-1] > best {
+				best = dp[i][j-1]
+			}
+			if s := score(old[i-1], new[j-1]); s > 0 && dp[i-1][j-1]+s > best {
+				best = dp[i-1][j-1] + s
+			}
+			dp[i][j] = best
+		}
+	}
+	// Traceback. Skip moves are preferred when they lose no score, so ties
+	// between equally-scored matchings resolve toward pairing the earliest
+	// compatible nodes — an edited first element pairs with its former
+	// self rather than pushing every sibling one slot over.
+	var pairs []pair
+	i, j := n, m
+	for i > 0 && j > 0 {
+		switch {
+		case dp[i-1][j] == dp[i][j]:
+			i--
+		case dp[i][j-1] == dp[i][j]:
+			j--
+		default:
+			pairs = append(pairs, pair{i - 1, j - 1})
+			i--
+			j--
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].i < pairs[b].i })
+	return pairs
+}

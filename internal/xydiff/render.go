@@ -1,0 +1,58 @@
+package xydiff
+
+import (
+	"strconv"
+
+	"xymon/internal/xmldom"
+)
+
+// RenderXML renders the delta as an XML element named name+"-delta", in the
+// shape the paper shows for continuous-query deltas:
+//
+//	<AmsterdamPaintings-delta>
+//	  <inserted ID="556" parent="550" position="4">...subtree...</inserted>
+//	  <updated ID="332" .../>
+//	  <deleted ID="97">...old subtree...</deleted>
+//	</AmsterdamPaintings-delta>
+func (d *Delta) RenderXML(name string) *xmldom.Node {
+	root := xmldom.Element(name + "-delta")
+	if d == nil {
+		return root
+	}
+	for _, op := range d.Ops {
+		switch op.Kind {
+		case OpInsert:
+			e := xmldom.Element("inserted").
+				WithAttr("ID", xidString(op.XID)).
+				WithAttr("parent", xidString(op.Parent)).
+				WithAttr("position", strconv.Itoa(op.Pos))
+			if op.Subtree != nil {
+				e.AppendChild(op.Subtree.Clone())
+			}
+			root.AppendChild(e)
+		case OpDelete:
+			e := xmldom.Element("deleted").WithAttr("ID", xidString(op.XID))
+			if op.Subtree != nil {
+				e.AppendChild(op.Subtree.Clone())
+			}
+			root.AppendChild(e)
+		case OpUpdate:
+			e := xmldom.Element("updated").WithAttr("ID", xidString(op.XID))
+			if op.TextChanged {
+				e.WithAttr("text", op.NewText)
+			}
+			if op.AttrsChanged {
+				for _, a := range op.NewAttrs {
+					e.AppendChild(xmldom.Element("attr").
+						WithAttr("name", a.Name).WithAttr("value", a.Value))
+				}
+			}
+			root.AppendChild(e)
+		}
+	}
+	return root
+}
+
+func xidString(x xmldom.XID) string {
+	return strconv.FormatUint(uint64(x), 10)
+}

@@ -1,0 +1,89 @@
+// Package pubsub is the public face of the paper's primary contribution,
+// usable independently of the XML machinery: the Monitoring Query
+// Processor as a generic publish/subscribe matcher. "In general terms,
+// each alert consists of a set of atomic events and the problem can be
+// stated as finding in a flow of sets of atomic events, the sets that
+// satisfy a conjunction of properties. Our algorithm was designed to
+// support a flow of millions of alerts per day and millions of such
+// conjunctions." (Section 1.)
+//
+// Atomic events are integer codes you assign; a subscription is a
+// conjunction (set) of them; Match returns every registered conjunction
+// contained in the incoming event set, in observed time O(p·log k).
+//
+//	m := pubsub.NewMatcher()
+//	m.Add(1, []pubsub.Event{login})
+//	m.Add(2, []pubsub.Event{purchase, bigBasket})
+//	hits := m.Match(pubsub.Canonical([]pubsub.Event{login, purchase, bigBasket}))
+//
+// For scale-out, Freeze a matcher into a compact serialisable snapshot
+// and serve partition blocks over TCP with Serve/Dial.
+package pubsub
+
+import (
+	"io"
+
+	"xymon/internal/cluster"
+	"xymon/internal/core"
+)
+
+// Core matcher types, aliased from the implementation package.
+type (
+	// Event is an atomic event code; only its total order matters.
+	Event = core.Event
+	// ComplexID identifies a registered conjunction.
+	ComplexID = core.ComplexID
+	// EventSet is a canonical (sorted, deduplicated) set of events.
+	EventSet = core.EventSet
+	// Matcher is the dynamic Atomic Event Sets structure.
+	Matcher = core.Matcher
+	// Partitioned splits the subscription base across blocks.
+	Partitioned = core.Partitioned
+	// Compact is a frozen, memory-lean, serialisable matcher snapshot.
+	Compact = core.Compact
+	// Stats reports structure and matching counters.
+	Stats = core.Stats
+	// Server serves one partition block over TCP.
+	Server = cluster.Server
+	// Client fans matches out to several partition blocks.
+	Client = cluster.Client
+)
+
+// Errors re-exported from the implementation.
+var (
+	// ErrEmptyComplexEvent rejects conjunctions with no events.
+	ErrEmptyComplexEvent = core.ErrEmptyComplexEvent
+	// ErrDuplicateComplexID rejects reuse of a registered id.
+	ErrDuplicateComplexID = core.ErrDuplicateComplexID
+	// ErrUnknownComplexID reports removal of an unregistered id.
+	ErrUnknownComplexID = core.ErrUnknownComplexID
+	// ErrBadSnapshot reports a corrupt frozen-matcher snapshot.
+	ErrBadSnapshot = core.ErrBadSnapshot
+)
+
+// NewMatcher returns an empty matcher.
+func NewMatcher() *Matcher { return core.NewMatcher() }
+
+// NewPartitioned returns a subscription-partitioned matcher with n blocks;
+// with parallel set, Match fans out with one goroutine per block.
+func NewPartitioned(n int, parallel bool) *Partitioned {
+	return core.NewPartitioned(n, parallel)
+}
+
+// Canonical sorts and deduplicates events into an EventSet.
+func Canonical(events []Event) EventSet { return core.Canonical(events) }
+
+// Freeze flattens a matcher into a Compact snapshot.
+func Freeze(m *Matcher) *Compact { return core.Freeze(m) }
+
+// ReadCompact deserialises a snapshot written with Compact.WriteTo.
+func ReadCompact(r io.Reader) (*Compact, error) { return core.ReadCompact(r) }
+
+// Serve exposes a frozen partition block over TCP; addr "127.0.0.1:0"
+// picks a free port (see Server.Addr).
+func Serve(addr string, block *Compact) (*Server, error) {
+	return cluster.Serve(addr, block)
+}
+
+// Dial connects to block servers for fan-out matching.
+func Dial(addrs ...string) (*Client, error) { return cluster.Dial(addrs...) }

@@ -1,0 +1,264 @@
+// Package xymon is a from-scratch reproduction of the subscription system
+// of "Monitoring XML Data on the Web" (Nguyen, Abiteboul, Cobéna, Preda;
+// SIGMOD 2001): the change-monitoring half of the Xyleme XML web
+// warehouse.
+//
+// A System bundles the paper's architecture (Figure 3): alerters detect
+// atomic events on every fetched document, the Monitoring Query Processor
+// (the paper's "Atomic Event Sets" hash-tree) matches them against
+// millions of registered conjunctions, the Trigger Engine evaluates
+// continuous queries, and the Reporter buffers notifications and emits XML
+// reports according to each subscription's report conditions.
+//
+// Quick start:
+//
+//	sys, _ := xymon.New(xymon.Options{})
+//	sys.Subscribe(`subscription Watch
+//	    monitoring
+//	    select <UpdatedPage url=URL/>
+//	    where URL extends "http://inria.fr/Xy/" and modified self
+//	    report when immediate`)
+//	sys.PushXML("http://inria.fr/Xy/index.xml", "", "", "<page>v1</page>")
+//	sys.PushXML("http://inria.fr/Xy/index.xml", "", "", "<page>v2</page>")
+//	// the second push raises UpdatedPage and delivers a report
+package xymon
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"time"
+
+	"xymon/internal/alerter"
+	"xymon/internal/core"
+	"xymon/internal/crawler"
+	"xymon/internal/manager"
+	"xymon/internal/reporter"
+	"xymon/internal/semantic"
+	"xymon/internal/sublang"
+	"xymon/internal/trigger"
+	"xymon/internal/warehouse"
+	"xymon/internal/webgen"
+	"xymon/internal/xmldom"
+)
+
+// Re-exported types of the public surface.
+type (
+	// Report is a generated subscription report.
+	Report = reporter.Report
+	// Notification is one entry of a notification stream.
+	Notification = reporter.Notification
+	// Delivery receives finished reports.
+	Delivery = reporter.Delivery
+	// DeliveryFunc adapts a function to Delivery.
+	DeliveryFunc = reporter.DeliveryFunc
+	// Subscription is a parsed subscription.
+	Subscription = sublang.Subscription
+	// Site is a synthetic web site usable with AddSite.
+	Site = webgen.Site
+	// SiteSpec configures a synthetic site.
+	SiteSpec = webgen.SiteSpec
+)
+
+// NewSite builds a synthetic site for simulated crawling.
+func NewSite(spec SiteSpec) *Site { return webgen.NewSite(spec) }
+
+// Options configures a System. The zero value is a fully in-memory system
+// on the real clock that discards reports.
+type Options struct {
+	// Clock substitutes the time source (virtual time in tests and
+	// simulations).
+	Clock func() time.Time
+	// Delivery receives reports; nil discards them.
+	Delivery Delivery
+	// JournalPath persists the subscription base to a JSON-lines file for
+	// recovery; empty keeps it in memory only.
+	JournalPath string
+	// TriePrefixes selects the trie structure for `URL extends` patterns
+	// instead of the default hash structure (the Section 6.2 ablation).
+	TriePrefixes bool
+	// Domains seeds the semantic classifier (Xyleme's semantic module):
+	// domain name -> typical element tags. Documents pushed or crawled
+	// without an explicit domain are classified automatically.
+	Domains map[string][]string
+	// DataDir, when set, loads a warehouse snapshot from the directory at
+	// startup (if one exists) and enables SaveWarehouse.
+	DataDir string
+	// MaxCost rejects subscriptions whose a priori cost estimate exceeds
+	// the budget, and InhibitRate suspends subscriptions that flood the
+	// notification stream — the resource controls of Section 5.4. Zero
+	// disables each.
+	MaxCost     float64
+	InhibitRate float64
+}
+
+// System is the assembled subscription system.
+type System struct {
+	Store      *warehouse.Store
+	Manager    *manager.Manager
+	Reporter   *reporter.Reporter
+	Trigger    *trigger.Engine
+	Crawler    *crawler.Crawler
+	Matcher    *core.Matcher
+	Pipeline   *alerter.Pipeline
+	Classifier *semantic.Classifier
+	clock      func() time.Time
+	dataDir    string
+}
+
+// New assembles a System.
+func New(opts Options) (*System, error) {
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &System{clock: clock}
+	s.Classifier = semantic.NewClassifier()
+	for name, tags := range opts.Domains {
+		s.Classifier.AddDomain(name, tags...)
+	}
+	s.Store = warehouse.NewStore(warehouse.WithClock(clock))
+	s.Reporter = reporter.New(opts.Delivery, reporter.WithClock(clock))
+	s.Trigger = trigger.New(s.Store.AllRoots, func(r trigger.Result) {
+		s.Reporter.Notify(reporter.Notification{
+			Subscription: r.Subscription, Label: r.Query, Element: r.Element, Time: r.Time,
+		})
+	}, trigger.WithClock(clock))
+	var prefixes alerter.PrefixIndex
+	if opts.TriePrefixes {
+		prefixes = alerter.NewTriePrefixIndex()
+	}
+	s.Pipeline = alerter.NewPipeline(prefixes)
+	s.Matcher = core.NewMatcher()
+	var journal manager.Journal
+	if opts.JournalPath != "" {
+		fj, err := manager.NewFileJournal(opts.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		journal = fj
+	}
+	s.Manager = manager.New(manager.Config{
+		Matcher:     s.Matcher,
+		Pipeline:    s.Pipeline,
+		Reporter:    s.Reporter,
+		Trigger:     s.Trigger,
+		Clock:       clock,
+		Journal:     journal,
+		MaxCost:     opts.MaxCost,
+		InhibitRate: opts.InhibitRate,
+	})
+	if opts.JournalPath != "" {
+		if err := s.Manager.Recover(journal); err != nil {
+			return nil, err
+		}
+	}
+	s.Crawler = crawler.New(s.Store, func(d *alerter.Doc) { s.Manager.ProcessDoc(d) }, clock)
+	if opts.DataDir != "" {
+		s.dataDir = opts.DataDir
+		if _, err := os.Stat(filepath.Join(opts.DataDir, "manifest.json")); err == nil {
+			if err := s.Store.Load(opts.DataDir); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// SaveWarehouse snapshots the warehouse into Options.DataDir (or the given
+// directory when DataDir was not set).
+func (s *System) SaveWarehouse(dir string) error {
+	if dir == "" {
+		dir = s.dataDir
+	}
+	if dir == "" {
+		return errors.New("xymon: no data directory configured")
+	}
+	return s.Store.Save(dir)
+}
+
+// Subscribe registers a subscription written in the subscription language
+// of Section 5 and returns its parsed form.
+func (s *System) Subscribe(src string) (*Subscription, error) {
+	sub, err := s.Manager.Subscribe(src)
+	if err != nil {
+		return nil, err
+	}
+	s.Crawler.ApplyRefreshHints(s.Manager.RefreshHints())
+	return sub, nil
+}
+
+// Unsubscribe removes a subscription.
+func (s *System) Unsubscribe(name string) error {
+	return s.Manager.Unsubscribe(name)
+}
+
+// PushXML feeds one fetched XML page through the full notification chain
+// (warehouse commit, change detection, alerters, matching, reporting) and
+// returns the number of notifications produced.
+func (s *System) PushXML(url, dtd, domain, content string) (int, error) {
+	doc, err := xmldom.ParseString(content)
+	if err != nil {
+		return 0, err
+	}
+	if domain == "" {
+		// The semantic module classifies unlabelled documents (Figure 1).
+		domain, _ = s.Classifier.Classify(doc)
+	}
+	res, err := s.Store.CommitXML(url, dtd, domain, doc)
+	if err != nil {
+		return 0, err
+	}
+	return s.Manager.ProcessDoc(&alerter.Doc{
+		Meta: res.Meta, Status: res.Status, Doc: res.Doc, Delta: res.Delta,
+	}), nil
+}
+
+// PushHTML feeds one fetched HTML page through the notification chain.
+func (s *System) PushHTML(url string, content []byte) (int, error) {
+	res, err := s.Store.CommitHTML(url, content)
+	if err != nil {
+		return 0, err
+	}
+	return s.Manager.ProcessDoc(&alerter.Doc{
+		Meta: res.Meta, Status: res.Status, Content: content,
+	}), nil
+}
+
+// AddSite registers a synthetic site with the crawler.
+func (s *System) AddSite(site *Site) {
+	s.Crawler.AddSite(site)
+	s.Crawler.ApplyRefreshHints(s.Manager.RefreshHints())
+}
+
+// Crawl fetches every page whose refresh time has come and returns the
+// number of pages fetched.
+func (s *System) Crawl() int {
+	return s.Crawler.Step()
+}
+
+// Tick advances the time-based machinery: scheduled continuous queries,
+// periodic report conditions, rate-limit windows and archive expiry. Call
+// it regularly (per simulated hour or day).
+func (s *System) Tick() {
+	s.Trigger.Tick()
+	s.Reporter.Tick()
+}
+
+// Stats aggregates the counters of every module.
+type Stats struct {
+	Manager manager.Stats
+	Crawler crawler.Stats
+	Matcher core.Stats
+	Pages   int
+}
+
+// Stats snapshots the system counters.
+func (s *System) Stats() Stats {
+	return Stats{
+		Manager: s.Manager.Stats(),
+		Crawler: s.Crawler.Stats(),
+		Matcher: s.Matcher.Stats(),
+		Pages:   s.Store.Len(),
+	}
+}
