@@ -18,14 +18,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"html"
 	"io"
 	"log"
 	"net/http"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"xymon"
@@ -77,30 +81,41 @@ func main() {
 			Pages:   5, Products: 20, Seed: int64(i), HTMLShare: 2,
 		}))
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var loops sync.WaitGroup
+	var runner *flow.Runner
 	if *sites > 0 {
 		// Documents flow from the crawler through a bounded worker pool —
 		// the in-process version of the paper's threaded alerters and
 		// flow-split processors.
-		runner := flow.NewRunner(*workers, 256, sys.Manager.ProcessDoc)
-		sys.Crawler.SetSink(func(d *alerter.Doc) { runner.Submit(d) })
-		go func() {
-			for {
-				n := sys.Crawl()
-				sys.Tick()
-				if n > 0 {
+		runner = flow.NewRunner(*workers, 256, sys.Manager.ProcessDoc)
+		sys.Crawler.SetSink(func(d *alerter.Doc) {
+			if err := runner.Submit(d); err != nil {
+				log.Printf("crawl: dropping %s: %v", d.Meta.URL, err)
+			}
+		})
+	}
+	loops.Add(1)
+	go func() {
+		defer loops.Done()
+		ticker := time.NewTicker(*crawlInt)
+		defer ticker.Stop()
+		for {
+			if *sites > 0 {
+				if n := sys.Crawl(); n > 0 {
 					log.Printf("crawl: fetched %d pages", n)
 				}
-				time.Sleep(*crawlInt)
 			}
-		}()
-	} else {
-		go func() {
-			for {
-				sys.Tick()
-				time.Sleep(*crawlInt)
+			sys.Tick()
+			select {
+			case <-ticker.C:
+			case <-ctx.Done():
+				return
 			}
-		}()
-	}
+		}
+	}()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", srv.handleIndex)
@@ -112,7 +127,29 @@ func main() {
 	mux.HandleFunc("GET /stats", srv.handleStats)
 	mux.HandleFunc("POST /save", srv.handleSave)
 	log.Printf("xymond listening on %s (%d synthetic sites)", *addr, *sites)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("xymond: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting requests, stop the crawl/tick
+	// loop, then drain the worker pool.
+	log.Printf("xymond: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("xymond: shutdown: %v", err)
+	}
+	stop()
+	loops.Wait()
+	if runner != nil {
+		runner.Close()
+	}
 }
 
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Pos  token.Pos
+	Rule string
+	Msg  string
+}
+
+// Analyzer is one rule suite run over every loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Finding
+}
+
+// analyzers is the project suite, in reporting order.
+var analyzers = []*Analyzer{
+	{
+		Name: "lockcheck",
+		Doc:  "locks without a paired unlock, and channel sends or callback invocations under a held lock",
+		Run:  runLockcheck,
+	},
+	{
+		Name: "goleak",
+		Doc:  "goroutines launched in library packages with no context, done channel or WaitGroup tie to their lifecycle",
+		Run:  runGoleak,
+	},
+	{
+		Name: "errdrop",
+		Doc:  "discarded error results of in-module calls (use _ = f() to discard explicitly)",
+		Run:  runErrdrop,
+	},
+	{
+		Name: "nondeterm",
+		Doc:  "global math/rand and time.Sleep in non-test code; both break reproducible runs",
+		Run:  runNondeterm,
+	},
+	{
+		Name: "printcheck",
+		Doc:  "fmt.Print*/log output in library packages; output must flow through the reporter",
+		Run:  runPrintcheck,
+	},
+}
+
+// analyze runs every analyzer over pkg, drops suppressed findings and
+// returns the rest sorted by position.
+func analyze(pkg *Package) []Finding {
+	ignores := collectIgnores(pkg)
+	var out []Finding
+	for _, a := range analyzers {
+		for _, f := range a.Run(pkg) {
+			if f.Rule == "" {
+				f.Rule = a.Name
+			}
+			if !ignores.suppressed(pkg.Fset.Position(f.Pos), f.Rule) {
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// ignoreIndex records //xyvet:ignore comments by file and line.
+type ignoreIndex map[string]map[int][]string
+
+// collectIgnores scans every comment of the package for the suppression
+// syntax `//xyvet:ignore rule[,rule...] [justification]`.
+func collectIgnores(pkg *Package) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "xyvet:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				rules := strings.Split(fields[0], ",")
+				pos := pkg.Fset.Position(c.Pos())
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = make(map[int][]string)
+				}
+				idx[pos.Filename][pos.Line] = append(idx[pos.Filename][pos.Line], rules...)
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether rule is ignored at pos: an ignore comment on
+// the same line or on the line directly above covers it.
+func (idx ignoreIndex) suppressed(pos token.Position, rule string) bool {
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{pos.Line, pos.Line - 1} {
+		for _, r := range lines[l] {
+			if r == rule || r == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- shared type helpers ---
+
+// isMainPkg reports whether the package builds a command.
+func isMainPkg(pkg *Package) bool {
+	return pkg.Types != nil && pkg.Types.Name() == "main"
+}
+
+// inModule reports whether an object is declared inside this module.
+func inModule(pkg *Package, obj types.Object) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == pkg.ModPath || strings.HasPrefix(p, pkg.ModPath+"/")
+}
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// typeIs reports whether t (possibly behind a pointer) prints as one of
+// the given fully qualified type names.
+func typeIs(t types.Type, names ...string) bool {
+	if t == nil {
+		return false
+	}
+	s := deref(t).String()
+	for _, n := range names {
+		if s == n {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFuncCall reports whether call invokes a package-level function of
+// the package with import path pkgPath, returning the function name.
+func pkgFuncCall(pkg *Package, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// calleeObject resolves the object a call invokes: a declared function or
+// method, a func-typed variable or field, or nil when unresolvable.
+func calleeObject(pkg *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return pkg.Info.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// runErrdrop flags expression statements that discard the error result
+// of an in-module call — a reporter delivery or warehouse write whose
+// failure vanishes is exactly the missed-notification bug class the
+// change-detection literature warns about. Writing `_ = f()` remains the
+// explicit escape hatch, and `defer f()` keeps the conventional cleanup
+// idiom. Standard-library calls are out of scope (go vet and convention
+// govern those).
+func runErrdrop(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pkg, call) {
+				return true
+			}
+			obj := calleeObject(pkg, call)
+			if !inModule(pkg, obj) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  call.Pos(),
+				Rule: "errdrop",
+				Msg:  fmt.Sprintf("error result of %s is silently discarded; handle it or write `_ = ...` to drop it explicitly", callName(call)),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether a call's results include an error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// callName renders the callee for the diagnostic.
+func callName(call *ast.CallExpr) string {
+	return types.ExprString(ast.Unparen(call.Fun))
+}

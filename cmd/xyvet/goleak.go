@@ -1,0 +1,108 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runGoleak flags goroutines launched in library packages whose body has
+// no visible tie to a lifecycle: no context.Context, no WaitGroup, no
+// done-channel receive, select or channel range. A goroutine none of
+// those reach cannot be stopped or awaited — in a monitor that runs for
+// months, every such launch is a leak. Commands (package main) own the
+// process lifetime and are exempt.
+func runGoleak(pkg *Package) []Finding {
+	if isMainPkg(pkg) {
+		return nil
+	}
+	decls := funcDecls(pkg)
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goroutineBody(pkg, g, decls)
+			if body == nil {
+				// Launched function is declared outside the package;
+				// nothing to inspect, give it the benefit of the doubt.
+				return true
+			}
+			if !hasLifecycleRef(pkg, body) {
+				out = append(out, Finding{
+					Pos:  g.Pos(),
+					Rule: "goleak",
+					Msg:  "goroutine has no context, done channel or WaitGroup tying it to a lifecycle; it cannot be stopped or awaited",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// funcDecls maps declared function/method objects to their declarations
+// so `go m.loop()` can be inspected like a literal.
+func funcDecls(pkg *Package) map[types.Object]*ast.FuncDecl {
+	m := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					m[obj] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+// goroutineBody resolves the body of the function a go statement runs.
+func goroutineBody(pkg *Package, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if obj := calleeObject(pkg, g.Call); obj != nil {
+		if fd := decls[obj]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// hasLifecycleRef reports whether body references any lifecycle
+// mechanism: a context.Context value, a sync.WaitGroup, a select
+// statement, a channel receive, or a range over a channel.
+func hasLifecycleRef(pkg *Package, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.Types[x.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			obj := pkg.Info.Uses[x]
+			if obj == nil {
+				obj = pkg.Info.Defs[x]
+			}
+			if obj != nil && typeIs(obj.Type(), "context.Context", "sync.WaitGroup") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantKey identifies one expected finding in a fixture file.
+type wantKey struct {
+	file string // base name
+	line int
+	rule string
+}
+
+// collectWants gathers the `// want rule[ rule...]` annotations of a
+// loaded fixture package, keyed by (file, line, rule) with counts.
+func collectWants(pkg *Package) map[wantKey]int {
+	wants := make(map[wantKey]int)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, rule := range strings.Fields(rest) {
+					wants[wantKey{filepath.Base(pos.Filename), pos.Line, rule}]++
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func fixtureRoot(t *testing.T) (root, modpath, fixtures string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, modpath, err = findModule(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, modpath, filepath.Join(cwd, "testdata", "src")
+}
+
+// TestFixtures runs the full analyzer suite over every fixture package
+// and requires the finding set to match the `// want` annotations
+// exactly — each analyzer has positive and negative cases there.
+func TestFixtures(t *testing.T) {
+	root, modpath, fixtures := fixtureRoot(t)
+	entries, err := os.ReadDir(fixtures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := newLoader(root, modpath)
+	total := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			pkg, err := ld.loadDir(filepath.Join(fixtures, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pkg == nil {
+				t.Fatal("fixture has no Go files")
+			}
+			for _, terr := range pkg.TypeErrors {
+				t.Errorf("type error: %v", terr)
+			}
+			wants := collectWants(pkg)
+			total += len(wants)
+			got := make(map[wantKey]int)
+			for _, f := range analyze(pkg) {
+				pos := pkg.Fset.Position(f.Pos)
+				got[wantKey{filepath.Base(pos.Filename), pos.Line, f.Rule}]++
+			}
+			var keys []wantKey
+			for k := range wants {
+				keys = append(keys, k)
+			}
+			for k := range got {
+				if _, ok := wants[k]; !ok {
+					keys = append(keys, k)
+				}
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				a, b := keys[i], keys[j]
+				if a.file != b.file {
+					return a.file < b.file
+				}
+				if a.line != b.line {
+					return a.line < b.line
+				}
+				return a.rule < b.rule
+			})
+			for _, k := range keys {
+				if got[k] != wants[k] {
+					t.Errorf("%s:%d [%s]: got %d findings, want %d", k.file, k.line, k.rule, got[k], wants[k])
+				}
+			}
+		})
+	}
+	if total == 0 {
+		t.Fatal("no want annotations found in any fixture")
+	}
+}
+
+// TestFixturesExitNonZero mirrors the CLI contract: vetting the seeded
+// fixture tree reports findings (non-zero exit), one line each.
+func TestFixturesExitNonZero(t *testing.T) {
+	root, _, _ := fixtureRoot(t)
+	var buf bytes.Buffer
+	n, err := run(&buf, root, []string{"./cmd/xyvet/testdata/src/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("expected findings in fixture packages, got none")
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != n {
+		t.Errorf("printed %d lines for %d findings", lines, n)
+	}
+}
+
+// TestCleanTree asserts the repository itself vets clean: the CI gate
+// `go run ./cmd/xyvet ./...` must exit 0.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module with the source importer")
+	}
+	root, _, _ := fixtureRoot(t)
+	var buf bytes.Buffer
+	n, err := run(&buf, root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("module is not xyvet-clean, %d findings:\n%s", n, buf.String())
+	}
+}
+
+// TestExpandPatterns covers the walker's testdata and module-boundary
+// behavior.
+func TestExpandPatterns(t *testing.T) {
+	root, _, _ := fixtureRoot(t)
+	dirs, err := expandPatterns(root, root, []string{"./cmd/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("walk entered testdata: %s", d)
+		}
+	}
+	if _, err := expandPatterns(root, root, []string{"../..."}); err == nil {
+		t.Error("pattern outside the module was accepted")
+	}
+	if _, err := run(io.Discard, root, []string{"./no/such/dir"}); err == nil {
+		t.Error("missing directory was accepted")
+	}
+}

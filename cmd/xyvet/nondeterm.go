@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// runNondeterm flags the two classic sources of irreproducible runs in
+// non-test code:
+//
+//   - the global math/rand source (rand.Intn, rand.Seed, ...): the
+//     experiments of EXPERIMENTS.md must be reproducible run-to-run, so
+//     randomness flows through an injected, explicitly seeded *rand.Rand
+//     (rand.New/rand.NewSource/rand.NewZipf construct one and are fine);
+//   - time.Sleep: sleeping is synchronisation by lucky timing — library
+//     and pipeline code must wait on channels, sync primitives or
+//     tickers instead.
+func runNondeterm(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgFuncCall(pkg, call, "math/rand"); ok && !randConstructor(name) {
+				out = append(out, Finding{
+					Pos:  call.Pos(),
+					Rule: "nondeterm",
+					Msg:  fmt.Sprintf("rand.%s uses the global math/rand source; inject an explicitly seeded *rand.Rand for reproducible runs", name),
+				})
+			}
+			if name, ok := pkgFuncCall(pkg, call, "math/rand/v2"); ok && !randConstructor(name) {
+				out = append(out, Finding{
+					Pos:  call.Pos(),
+					Rule: "nondeterm",
+					Msg:  fmt.Sprintf("rand.%s uses the global math/rand/v2 source; inject an explicitly seeded *rand.Rand for reproducible runs", name),
+				})
+			}
+			if name, ok := pkgFuncCall(pkg, call, "time"); ok && name == "Sleep" {
+				out = append(out, Finding{
+					Pos:  call.Pos(),
+					Rule: "nondeterm",
+					Msg:  "time.Sleep in non-test code is timing-dependent synchronisation; use a channel, sync primitive or time.Ticker",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// randConstructor lists the math/rand functions that build an injected
+// source rather than touching the global one.
+func randConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runPrintcheck bans direct terminal output from library packages: all
+// user-visible output of the system flows through the reporter (and a
+// command's own main package). fmt.Fprint* to an injected writer and
+// fmt.Sprint*/Errorf are fine; writing to the process's stdout/stderr or
+// the global logger from internal/* or pubsub is not.
+func runPrintcheck(pkg *Package) []Finding {
+	if isMainPkg(pkg) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgFuncCall(pkg, call, "fmt"); ok && strings.HasPrefix(name, "Print") {
+				out = append(out, Finding{
+					Pos:  call.Pos(),
+					Rule: "printcheck",
+					Msg:  fmt.Sprintf("fmt.%s writes to stdout from a library package; route output through the reporter or an injected io.Writer", name),
+				})
+			}
+			if name, ok := pkgFuncCall(pkg, call, "log"); ok && logOutput(name) {
+				out = append(out, Finding{
+					Pos:  call.Pos(),
+					Rule: "printcheck",
+					Msg:  fmt.Sprintf("log.%s uses the global logger from a library package; route output through the reporter or an injected logger", name),
+				})
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+					out = append(out, Finding{
+						Pos:  call.Pos(),
+						Rule: "printcheck",
+						Msg:  fmt.Sprintf("builtin %s writes to stderr; it is a debugging aid, not a reporting channel", b.Name()),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// logOutput lists the global-logger functions that produce output.
+func logOutput(name string) bool {
+	for _, prefix := range []string{"Print", "Fatal", "Panic"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}

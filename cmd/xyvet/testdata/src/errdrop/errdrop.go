@@ -1,0 +1,32 @@
+// Package errdrop exercises the dropped-error analyzer.
+package errdrop
+
+import "os"
+
+func save() error { return nil }
+
+func flush() (int, error) { return 0, nil }
+
+func report() int { return 0 }
+
+func Use() {
+	save()  // want errdrop
+	flush() // want errdrop
+
+	// The explicit escape hatch.
+	_ = save()
+
+	// No error result: nothing to drop.
+	report()
+
+	// Out-of-module call: go vet's territory, not ours.
+	os.Remove("nonexistent")
+
+	// Handled.
+	if err := save(); err != nil {
+		_ = err
+	}
+
+	// The conventional cleanup idiom stays allowed.
+	defer save()
+}

@@ -1,0 +1,74 @@
+// Package goleak exercises the goroutine-lifecycle analyzer.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+type Pool struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	work chan int
+}
+
+// Leak launches a goroutine with nothing tying it to a lifecycle.
+func Leak() {
+	go func() { // want goleak
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// LeakMethod resolves the launched method and finds no lifecycle there
+// either.
+func (p *Pool) LeakMethod() {
+	go p.spin() // want goleak
+}
+
+func (p *Pool) spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// GoodContext is cancellable through the context.
+func GoodContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// GoodWaitGroup is awaited through the pool's WaitGroup.
+func (p *Pool) GoodWaitGroup() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+	}()
+}
+
+// GoodRange exits when the work channel is closed.
+func (p *Pool) GoodRange() {
+	go func() {
+		for v := range p.work {
+			_ = v
+		}
+	}()
+}
+
+// GoodSelect launches a declared method that waits on the done channel.
+func (p *Pool) GoodSelect() {
+	go p.loop()
+}
+
+func (p *Pool) loop() {
+	for {
+		select {
+		case v := <-p.work:
+			_ = v
+		case <-p.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package ignore exercises the //xyvet:ignore suppression comment.
+package ignore
+
+import "time"
+
+// Suppressed shows both placements: the same line and the line above.
+func Suppressed() {
+	time.Sleep(time.Millisecond) //xyvet:ignore nondeterm same-line suppression
+	//xyvet:ignore nondeterm line-above suppression
+	time.Sleep(time.Millisecond)
+}
+
+// NotSuppressed shows that ignoring one rule does not silence another.
+func NotSuppressed() {
+	//xyvet:ignore printcheck wrong rule, the finding below survives
+	time.Sleep(time.Millisecond) // want nondeterm
+}

@@ -1,0 +1,96 @@
+// Package lockcheck exercises the lock-discipline analyzer: unpaired
+// locks, channel sends and callback invocations inside critical
+// sections, and the *Locked caller-holds-the-lock convention.
+package lockcheck
+
+import "sync"
+
+// Sink is an in-module plug-point interface, as Delivery or Journal are
+// in the real tree.
+type Sink interface {
+	Emit(v int)
+}
+
+type Box struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	vals []int
+	ch   chan int
+	done chan struct{}
+	cb   func(int)
+	sink Sink
+}
+
+// Good is the canonical pattern: lock, defer unlock, short section.
+func (b *Box) Good(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.vals = append(b.vals, v)
+}
+
+// GoodExplicit releases the lock before the send; the explicit unlock
+// ends the critical section.
+func (b *Box) GoodExplicit(v int) {
+	b.mu.Lock()
+	b.vals = append(b.vals, v)
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// Unpaired never releases the lock in the same statement list.
+func (b *Box) Unpaired(v int) {
+	b.mu.Lock() // want lockcheck
+	b.vals = append(b.vals, v)
+}
+
+// SendUnderLock blocks the critical section when the channel is full.
+func (b *Box) SendUnderLock(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v // want lockcheck
+}
+
+// CallbackUnderLock invokes an injected function value while locked.
+func (b *Box) CallbackUnderLock(v int) {
+	b.rw.RLock()
+	b.cb(v) // want lockcheck
+	b.rw.RUnlock()
+}
+
+// InterfaceUnderLock calls an in-module interface method while locked.
+func (b *Box) InterfaceUnderLock(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sink.Emit(v) // want lockcheck
+}
+
+// flushLocked runs with the caller's lock held, per the naming
+// convention, so its body is a critical section too.
+func (b *Box) flushLocked() {
+	for _, v := range b.vals {
+		b.ch <- v // want lockcheck
+	}
+	b.vals = nil
+}
+
+// LocalClosure calls a closure defined in the same function; that stays
+// under the author's control and is fine while locked.
+func (b *Box) LocalClosure(v int) {
+	add := func(x int) { b.vals = append(b.vals, x) }
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	add(v)
+}
+
+// SpawnUnderLock starts a goroutine whose body sends; the send happens
+// outside the lexical critical section and is fine.
+func (b *Box) SpawnUnderLock(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		select {
+		case b.ch <- v:
+		case <-b.done:
+		}
+	}()
+}

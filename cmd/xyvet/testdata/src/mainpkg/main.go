@@ -1,0 +1,17 @@
+// Package main shows the command exemptions: goleak and printcheck do
+// not apply to main packages, which own the process lifetime and its
+// terminal. nondeterm still applies everywhere.
+package main
+
+import "fmt"
+
+func main() {
+	go spin()
+	fmt.Println("commands own their stdout")
+}
+
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}

@@ -1,0 +1,37 @@
+// Package nondeterm exercises the reproducibility analyzer.
+package nondeterm
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the global source: irreproducible run-to-run.
+func Jitter() int {
+	return rand.Intn(100) // want nondeterm
+}
+
+// Wait synchronises by lucky timing.
+func Wait() {
+	time.Sleep(10 * time.Millisecond) // want nondeterm
+}
+
+// Seeded uses an injected, explicitly seeded generator.
+func Seeded(rng *rand.Rand) int {
+	return rng.Intn(100)
+}
+
+// Build constructs the injected generator; constructors are allowed.
+func Build(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Tick waits on a timer channel instead of sleeping.
+func Tick(done chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}

@@ -1,0 +1,26 @@
+// Package printcheck exercises the library-output analyzer.
+package printcheck
+
+import (
+	"fmt"
+	"io"
+	"log"
+)
+
+// Shout writes straight to the process's terminal and global logger.
+func Shout(v int) {
+	fmt.Println("value", v)   // want printcheck
+	log.Printf("value %d", v) // want printcheck
+	println("debug", v)       // want printcheck
+}
+
+// Report renders into an injected writer: the sanctioned path.
+func Report(w io.Writer, v int) error {
+	_, err := fmt.Fprintf(w, "value %d\n", v)
+	return err
+}
+
+// Format builds a string without printing anything.
+func Format(v int) string {
+	return fmt.Sprintf("value %d", v)
+}

@@ -60,7 +60,7 @@ func main() {
 	}
 	defer func() {
 		for _, s := range servers {
-			s.Close()
+			_ = s.Close()
 		}
 	}()
 

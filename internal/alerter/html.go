@@ -63,23 +63,32 @@ func (a *HTMLAlerter) Unregister(code core.Event, cond sublang.Condition) {
 	}
 }
 
-// Detect appends keyword events found in the raw page body.
+// Detect appends keyword events found in the raw page body. Matching
+// codes are collected under the read lock and emitted after it is
+// released, so the emit callback may re-enter the alerter.
 func (a *HTMLAlerter) Detect(d *Doc, emit func(core.Event)) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	if len(a.words) == 0 || len(d.Content) == 0 {
+	if len(d.Content) == 0 {
 		return
 	}
-	seen := make(map[string]bool)
-	for _, w := range xmldom.Words(string(d.Content)) {
-		if seen[w] {
-			continue
-		}
-		if codes, ok := a.words[w]; ok {
-			seen[w] = true
-			for _, c := range codes {
-				emit(c)
+	words := xmldom.Words(string(d.Content))
+
+	var out []core.Event
+	a.mu.RLock()
+	if len(a.words) > 0 {
+		seen := make(map[string]bool)
+		for _, w := range words {
+			if seen[w] {
+				continue
+			}
+			if codes, ok := a.words[w]; ok {
+				seen[w] = true
+				out = append(out, codes...)
 			}
 		}
+	}
+	a.mu.RUnlock()
+
+	for _, c := range out {
+		emit(c)
 	}
 }

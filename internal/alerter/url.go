@@ -68,6 +68,10 @@ func (a *URLAlerter) Register(code core.Event, cond sublang.Condition) {
 	defer a.mu.Unlock()
 	switch cond.Kind {
 	case sublang.CondURLExtends:
+		// The prefix index is a passive data structure owned by this
+		// alerter, not a user plug point; mutating it under a.mu is the
+		// point of the lock.
+		//xyvet:ignore lockcheck
 		a.prefixes.Add(cond.Str, code)
 	case sublang.CondURLEquals:
 		a.urlEq[cond.Str] = append(a.urlEq[cond.Str], code)
@@ -94,6 +98,8 @@ func (a *URLAlerter) Unregister(code core.Event, cond sublang.Condition) {
 	defer a.mu.Unlock()
 	switch cond.Kind {
 	case sublang.CondURLExtends:
+		// Passive in-module index; see Register.
+		//xyvet:ignore lockcheck
 		a.prefixes.Remove(cond.Str, code)
 	case sublang.CondURLEquals:
 		a.urlEq[cond.Str] = dropCode(a.urlEq, cond.Str, code)
@@ -156,39 +162,34 @@ func dropCodeU(m map[uint64][]core.Event, key uint64, code core.Event) []core.Ev
 }
 
 // Detect appends the metadata-level atomic events raised by the document.
+// Matching codes are collected under the read lock and emitted after it is
+// released, so the emit callback may re-enter the alerter (e.g. to
+// register a follow-up condition) without deadlocking.
 func (a *URLAlerter) Detect(d *Doc, emit func(core.Event)) {
+	var codes []core.Event
+	collect := func(c core.Event) { codes = append(codes, c) }
+
 	a.mu.RLock()
-	defer a.mu.RUnlock()
-	a.prefixes.Lookup(d.Meta.URL, emit)
-	for _, c := range a.urlEq[d.Meta.URL] {
-		emit(c)
-	}
-	for _, c := range a.filenames[d.Meta.Filename] {
-		emit(c)
-	}
+	// Passive in-module index; see Register. collect only appends.
+	//xyvet:ignore lockcheck
+	a.prefixes.Lookup(d.Meta.URL, collect)
+	codes = append(codes, a.urlEq[d.Meta.URL]...)
+	codes = append(codes, a.filenames[d.Meta.Filename]...)
 	if d.Meta.DTD != "" {
-		for _, c := range a.dtds[d.Meta.DTD] {
-			emit(c)
-		}
+		codes = append(codes, a.dtds[d.Meta.DTD]...)
 	}
 	if d.Meta.Domain != "" {
-		for _, c := range a.domains[d.Meta.Domain] {
-			emit(c)
-		}
+		codes = append(codes, a.domains[d.Meta.Domain]...)
 	}
-	for _, c := range a.dtdIDs[d.Meta.DTDID] {
-		emit(c)
-	}
-	for _, c := range a.docIDs[d.Meta.DocID] {
-		emit(c)
-	}
+	codes = append(codes, a.dtdIDs[d.Meta.DTDID]...)
+	codes = append(codes, a.docIDs[d.Meta.DocID]...)
 	for _, dc := range a.dates {
 		v := d.Meta.LastAccessed
 		if dc.kind == sublang.CondLastUpdate {
 			v = d.Meta.LastUpdate
 		}
 		if cmpTime(v, dc.cmp, dc.date) {
-			emit(dc.code)
+			collect(dc.code)
 		}
 	}
 	var op sublang.ChangeOp
@@ -202,7 +203,10 @@ func (a *URLAlerter) Detect(d *Doc, emit func(core.Event)) {
 	case warehouse.StatusDeleted:
 		op = sublang.OpDeleted
 	}
-	for _, c := range a.changes[op] {
+	codes = append(codes, a.changes[op]...)
+	a.mu.RUnlock()
+
+	for _, c := range codes {
 		emit(c)
 	}
 }
@@ -228,5 +232,7 @@ func cmpTime(v time.Time, cmp sublang.Comparator, ref time.Time) bool {
 func (a *URLAlerter) PrefixMemory() int64 {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
+	// Passive in-module index; see Register.
+	//xyvet:ignore lockcheck
 	return a.prefixes.MemoryEstimate()
 }

@@ -137,7 +137,7 @@ func Dial(addrs ...string) (*Client, error) {
 	for _, addr := range addrs {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
-			c.Close()
+			_ = c.Close()
 			return nil, fmt.Errorf("cluster: %w", err)
 		}
 		c.conns = append(c.conns, &blockConn{

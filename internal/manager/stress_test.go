@@ -1,0 +1,123 @@
+package manager
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xymon/internal/alerter"
+	"xymon/internal/core"
+	"xymon/internal/reporter"
+	"xymon/internal/trigger"
+	"xymon/internal/warehouse"
+	"xymon/internal/xmldom"
+)
+
+// TestManagerStress drives a full manager — real clocks, live reporter
+// and trigger engine — from concurrent subscribers, document pushers and
+// tickers at once. It is the integration-level race probe for the lock
+// discipline xyvet enforces statically: deliveries and trigger sinks run
+// outside the component locks, so everything here may overlap. Run under
+// -race; CI does.
+func TestManagerStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		subscribers = 3
+		pushers     = 3
+		subIters    = 60
+		pushIters   = 120
+	)
+
+	var repMu sync.Mutex
+	var delivered int
+	rep := reporter.New(reporter.DeliveryFunc(func(*reporter.Report) error {
+		repMu.Lock()
+		delivered++
+		repMu.Unlock()
+		return nil
+	}))
+	store := warehouse.NewStore()
+	eng := trigger.New(store.AllRoots, func(res trigger.Result) {
+		rep.Notify(reporter.Notification{
+			Subscription: res.Subscription, Label: res.Query, Element: res.Element, Time: res.Time,
+		})
+	})
+	mgr := New(Config{
+		Matcher:  core.NewMatcher(),
+		Pipeline: alerter.NewPipeline(nil),
+		Reporter: rep,
+		Trigger:  eng,
+	})
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	for s := 0; s < subscribers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < subIters; i++ {
+				name := fmt.Sprintf("Stress_%d_%d", s, i)
+				src := fmt.Sprintf(`subscription %s
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://stress%d.example/" and modified self
+report when immediate
+`, name, s)
+				if _, err := mgr.Subscribe(src); err != nil {
+					t.Errorf("Subscribe: %v", err)
+					return
+				}
+				if i%2 == 1 {
+					if err := mgr.Unsubscribe(name); err != nil {
+						t.Errorf("Unsubscribe: %v", err)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < pushIters; i++ {
+				url := fmt.Sprintf("http://stress%d.example/page%d.xml", p, i%7)
+				xml := fmt.Sprintf(`<catalog><product id="p%d"><price>%d</price></product></catalog>`, i, 10+i)
+				res, err := store.CommitXML(url, "", "stress", xmldom.MustParse(xml))
+				if err != nil {
+					t.Errorf("CommitXML: %v", err)
+					return
+				}
+				mgr.ProcessDoc(&alerter.Doc{Meta: res.Meta, Status: res.Status, Doc: res.Doc, Delta: res.Delta})
+			}
+		}(p)
+	}
+	tickerDone := make(chan struct{})
+	go func() {
+		defer close(tickerDone)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			rep.Tick()
+			eng.Tick()
+			mgr.Stats()
+			mgr.Subscriptions()
+		}
+	}()
+
+	wg.Wait()
+	close(done)
+	<-tickerDone
+
+	repMu.Lock()
+	defer repMu.Unlock()
+	if delivered == 0 {
+		t.Error("no report was delivered during the stress run")
+	}
+}

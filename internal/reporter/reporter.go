@@ -108,13 +108,14 @@ func (r *Reporter) Register(sub string, spec *sublang.ReportSpec) {
 	if spec == nil {
 		spec = &sublang.ReportSpec{When: []sublang.ReportTerm{{Kind: sublang.TermImmediate}}}
 	}
+	now := r.clock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.subs[sub] = &subState{
 		spec:       spec,
 		labelCount: make(map[string]int),
-		start:      r.clock(),
-		lastReport: r.clock(),
+		start:      now,
+		lastReport: now,
 	}
 }
 
@@ -148,34 +149,36 @@ func (r *Reporter) Follow(follower, target string) error {
 }
 
 // Notify appends a notification to its subscription's buffer and fires a
-// report when the subscription's when condition holds.
+// report when the subscription's when condition holds. Delivery happens
+// after the reporter's lock is released, so a Delivery implementation may
+// call back into the Reporter without deadlocking.
 func (r *Reporter) Notify(n Notification) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	st, ok := r.subs[n.Subscription]
-	if !ok {
-		return
-	}
 	now := r.clock()
-	if st.spec.AtMostCount > 0 && len(st.buffer) >= st.spec.AtMostCount {
-		// atmost N: stop registering new notifications until the next report.
-		st.dropped++
-		return
+	r.mu.Lock()
+	var reps []*Report
+	if st, ok := r.subs[n.Subscription]; ok {
+		if st.spec.AtMostCount > 0 && len(st.buffer) >= st.spec.AtMostCount {
+			// atmost N: stop registering new notifications until the next report.
+			st.dropped++
+		} else {
+			st.buffer = append(st.buffer, n)
+			st.labelCount[n.Label]++
+			if r.conditionHolds(st, now, true) {
+				reps = r.buildLocked(n.Subscription, st, now)
+			}
+		}
 	}
-	st.buffer = append(st.buffer, n)
-	st.labelCount[n.Label]++
-	if r.conditionHolds(st, now, true) {
-		r.emitLocked(n.Subscription, st, now)
-	}
+	r.mu.Unlock()
+	r.deliver(reps)
 }
 
 // Tick evaluates time-based conditions (periodic terms, rate-limited
 // pending reports, archive expiry). Call it regularly — the paper's
 // Reporter owns a timer.
 func (r *Reporter) Tick() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	now := r.clock()
+	r.mu.Lock()
+	var reps []*Report
 	for sub, st := range r.subs {
 		if len(st.buffer) == 0 && !st.pending {
 			// Periodic reports with empty buffers are not sent; the paper's
@@ -190,7 +193,7 @@ func (r *Reporter) Tick() {
 			fire = true
 		}
 		if fire {
-			r.emitLocked(sub, st, now)
+			reps = append(reps, r.buildLocked(sub, st, now)...)
 		}
 	}
 	// Garbage-collect expired archived reports.
@@ -201,6 +204,8 @@ func (r *Reporter) Tick() {
 		}
 	}
 	r.archive = keep
+	r.mu.Unlock()
+	r.deliver(reps)
 }
 
 // conditionHolds evaluates the disjunction of report terms. onArrival is
@@ -261,10 +266,13 @@ func (r *Reporter) rateLimited(st *subState, now time.Time) bool {
 	return now.Sub(st.lastReport) < st.spec.AtMostFreq.Duration()
 }
 
-// emitLocked renders, post-processes and delivers the report, then resets
-// the buffer ("the generation of a report empties the global buffer of
-// notification answers").
-func (r *Reporter) emitLocked(sub string, st *subState, now time.Time) {
+// buildLocked renders and post-processes the report and resets the buffer
+// ("the generation of a report empties the global buffer of notification
+// answers"), returning one copy per recipient (the subscriber plus its
+// virtual followers). The caller delivers them once the lock is released:
+// holding r.mu across the Delivery callback would deadlock any sink that
+// calls back into the Reporter.
+func (r *Reporter) buildLocked(sub string, st *subState, now time.Time) []*Report {
 	doc := xmldom.Element("Report")
 	for _, n := range st.buffer {
 		if n.Element != nil {
@@ -287,18 +295,31 @@ func (r *Reporter) emitLocked(sub string, st *subState, now time.Time) {
 	if st.spec.Archive > 0 {
 		r.archive = append(r.archive, archivedReport{rep: rep, expiry: now.Add(st.spec.Archive.Duration())})
 	}
-	recipients := append([]string{sub}, st.followers...)
-	for _, rcpt := range recipients {
-		out := rep
-		if rcpt != sub {
-			out = &Report{Subscription: rcpt, Doc: rep.Doc, Time: now, Notifications: count}
-		}
-		if err := r.delivery.Deliver(out); err != nil {
-			r.failed++
+	out := []*Report{rep}
+	for _, rcpt := range st.followers {
+		out = append(out, &Report{Subscription: rcpt, Doc: rep.Doc, Time: now, Notifications: count})
+	}
+	return out
+}
+
+// deliver hands finished reports to the sink — with no lock held — and
+// folds the outcome back into the counters.
+func (r *Reporter) deliver(reps []*Report) {
+	if len(reps) == 0 {
+		return
+	}
+	var delivered, failed uint64
+	for _, rep := range reps {
+		if err := r.delivery.Deliver(rep); err != nil {
+			failed++
 		} else {
-			r.delivered++
+			delivered++
 		}
 	}
+	r.mu.Lock()
+	r.delivered += delivered
+	r.failed += failed
+	r.mu.Unlock()
 }
 
 // Buffered returns the number of notifications waiting for a subscription.

@@ -71,9 +71,10 @@ func New(source Source, sink Sink, opts ...Option) *Engine {
 
 // Register adds a continuous query owned by subscription sub.
 func (e *Engine) Register(sub string, cq *sublang.ContinuousQuery) {
+	now := e.clock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.queries = append(e.queries, &registered{sub: sub, cq: cq, lastRun: e.clock()})
+	e.queries = append(e.queries, &registered{sub: sub, cq: cq, lastRun: now})
 }
 
 // Unregister removes every continuous query of a subscription.
@@ -126,7 +127,10 @@ func (e *Engine) OnNotification(sub, label string) {
 	}
 }
 
-// evaluate runs one query and emits its (delta) result.
+// evaluate runs one query and emits its (delta) result. The sink is
+// immutable after construction and is invoked with no lock held, so a
+// sink may call back into the engine (Register, Tick) without
+// deadlocking.
 func (e *Engine) evaluate(r *registered, now time.Time) {
 	var result *xmldom.Node
 	if r.cq.Query != nil {
@@ -140,7 +144,6 @@ func (e *Engine) evaluate(r *registered, now time.Time) {
 	}
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	r.lastRun = now
 	e.evaluations++
 	out := result
@@ -153,6 +156,7 @@ func (e *Engine) evaluate(r *registered, now time.Time) {
 					// No change: delta queries stay silent.
 					r.hasRun = true
 					r.lastResult = newDoc
+					e.mu.Unlock()
 					return
 				}
 				out = delta.RenderXML(r.cq.Name)
@@ -161,6 +165,8 @@ func (e *Engine) evaluate(r *registered, now time.Time) {
 		r.lastResult = newDoc
 	}
 	r.hasRun = true
+	e.mu.Unlock()
+
 	if e.sink != nil {
 		e.sink(Result{Subscription: r.sub, Query: r.cq.Name, Element: out, Time: now})
 	}

@@ -39,7 +39,13 @@ func (w *EventWorkload) K() float64 {
 // nDocs documents draws p distinct events. The generator is deterministic
 // in seed.
 func GenEventWorkload(seed int64, cardA, cardC, m, p, nDocs int) *EventWorkload {
-	rng := rand.New(rand.NewSource(seed))
+	return GenEventWorkloadRand(rand.New(rand.NewSource(seed)), cardA, cardC, m, p, nDocs)
+}
+
+// GenEventWorkloadRand is GenEventWorkload drawing from an injected
+// generator, for callers that thread one explicitly seeded *rand.Rand
+// through a whole experiment.
+func GenEventWorkloadRand(rng *rand.Rand, cardA, cardC, m, p, nDocs int) *EventWorkload {
 	w := &EventWorkload{CardA: cardA, CardC: cardC, M: m, P: p}
 	w.Complex = make([][]core.Event, cardC)
 	for i := range w.Complex {

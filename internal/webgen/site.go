@@ -250,7 +250,11 @@ func ExtractLinks(content []byte) []string {
 // node count and depth, for the XML-alerter size/depth sweeps (Section 6.3
 // bounds the alerter cost by Size × Depth).
 func RandomTree(seed int64, size, depth int) *xmldom.Document {
-	rng := rand.New(rand.NewSource(seed))
+	return RandomTreeRand(rand.New(rand.NewSource(seed)), size, depth)
+}
+
+// RandomTreeRand is RandomTree drawing from an injected generator.
+func RandomTreeRand(rng *rand.Rand, size, depth int) *xmldom.Document {
 	if depth < 2 {
 		depth = 2
 	}
