@@ -34,10 +34,22 @@ func matchLoop(b *testing.B, m interface {
 	Match(core.EventSet) []core.ComplexID
 }, docs []core.EventSet) {
 	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Match(docs[i%len(docs)])
 	}
+}
+
+// shortScale trims a benchmark's parameter space in -short mode so the CI
+// bench smoke (`go test -short -run=NONE -bench=. -benchtime=1x`) still
+// executes every benchmark body without paying full-scale workload
+// generation.
+func shortScale[T any](full []T, short []T) []T {
+	if testing.Short() {
+		return short
+	}
+	return full
 }
 
 // BenchmarkFig5 reproduces Figure 5: time to process one document as a
@@ -50,8 +62,8 @@ func BenchmarkFig5(b *testing.B) {
 		m     = 3
 		nDocs = 1024
 	)
-	for _, cardC := range []int{10000, 100000, 1000000} {
-		for _, p := range []int{10, 20, 40, 60, 80, 100} {
+	for _, cardC := range shortScale([]int{10000, 100000, 1000000}, []int{10000}) {
+		for _, p := range shortScale([]int{10, 20, 40, 60, 80, 100}, []int{10, 100}) {
 			w := webgen.GenEventWorkload(5, cardA, cardC, m, p, nDocs)
 			matcher := loadMatcher(b, w)
 			b.Run(fmt.Sprintf("C=%d/p=%d", cardC, p), func(b *testing.B) {
@@ -71,7 +83,7 @@ func BenchmarkFig6(b *testing.B) {
 		p     = 20
 		nDocs = 1024
 	)
-	for _, cardC := range []int{10000, 33000, 100000, 330000, 1000000} {
+	for _, cardC := range shortScale([]int{10000, 33000, 100000, 330000, 1000000}, []int{10000}) {
 		w := webgen.GenEventWorkload(6, cardA, cardC, m, p, nDocs)
 		matcher := loadMatcher(b, w)
 		b.Run(fmt.Sprintf("C=%d/k=%.1f", cardC, w.K()), func(b *testing.B) {
@@ -90,7 +102,7 @@ func BenchmarkMSweep(b *testing.B) {
 		p     = 20
 		nDocs = 1024
 	)
-	for m := 2; m <= 10; m += 2 {
+	for _, m := range shortScale([]int{2, 4, 6, 8, 10}, []int{2}) {
 		w := webgen.GenEventWorkload(7, cardA, cardC, m, p, nDocs)
 		matcher := loadMatcher(b, w)
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
@@ -103,9 +115,11 @@ func BenchmarkMSweep(b *testing.B) {
 // processor sustains "several thousand sets of atomic events per second",
 // enough for ~100 crawlers of 50 documents/second each.
 func BenchmarkThroughput(b *testing.B) {
-	w := webgen.GenEventWorkload(8, 100000, 1000000, 3, 20, 4096)
+	cardC := shortScale([]int{1000000}, []int{10000})[0]
+	w := webgen.GenEventWorkload(8, 100000, cardC, 3, 20, 4096)
 	matcher := loadMatcher(b, w)
-	b.Run("C=1000000/p=20", func(b *testing.B) {
+	b.Run(fmt.Sprintf("C=%d/p=20", cardC), func(b *testing.B) {
+		b.ReportAllocs()
 		b.ResetTimer()
 		start := time.Now()
 		for i := 0; i < b.N; i++ {
@@ -153,12 +167,12 @@ func BenchmarkBaselines(b *testing.B) {
 func BenchmarkPartitioned(b *testing.B) {
 	const (
 		cardA = 100000
-		cardC = 200000
 		m     = 3
 		p     = 20
 	)
+	cardC := shortScale([]int{200000}, []int{20000})[0]
 	w := webgen.GenEventWorkload(10, cardA, cardC, m, p, 1024)
-	for _, blocks := range []int{1, 2, 4, 8} {
+	for _, blocks := range shortScale([]int{1, 2, 4, 8}, []int{1}) {
 		part := core.NewPartitioned(blocks, false)
 		if err := w.Load(part.Add); err != nil {
 			b.Fatalf("load: %v", err)
@@ -286,6 +300,7 @@ report when notifications.count > 1000000`, i, i%50, webgen.Vocabulary()[i%28])
 	}
 	site := webgen.NewSite(webgen.SiteSpec{BaseURL: "http://shop7.example", Pages: 1, Products: 30, Seed: 13})
 	url := site.XMLURLs()[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
@@ -304,14 +319,63 @@ report when notifications.count > 1000000`, i, i%50, webgen.Vocabulary()[i%28])
 	}
 }
 
+// BenchmarkProcessDoc isolates the manager's per-document hot path —
+// alerter detection, matching, notification building, batched reporter
+// delivery — from warehouse commit and version generation: the documents
+// are committed once up front and then replayed through ProcessDoc. This
+// is the path the de-contention work (pooled scratch, atomic counters,
+// NotifyBatch) targets, so allocations per document are the headline
+// number here.
+func BenchmarkProcessDoc(b *testing.B) {
+	sys, err := New(Options{Delivery: DeliveryFunc(func(*Report) error { return nil })})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		src := fmt.Sprintf(`subscription Sub%d
+monitoring
+select <Hit url=URL/>
+where URL extends "http://shop%d.example/"
+  and new product contains %q
+report when notifications.count > 1000000`, i, i%50, webgen.Vocabulary()[i%28])
+		if _, err := sys.Subscribe(src); err != nil {
+			b.Fatalf("Subscribe: %v", err)
+		}
+	}
+	site := webgen.NewSite(webgen.SiteSpec{BaseURL: "http://shop7.example", Pages: 1, Products: 30, Seed: 13})
+	url := site.XMLURLs()[0]
+	docs := make([]*alerter.Doc, 0, 64)
+	for i := 0; i < 64; i++ {
+		res, err := sys.Store.CommitXML(url, "", "shopping", site.FetchXML(url, 1+i))
+		if err != nil {
+			b.Fatalf("CommitXML: %v", err)
+		}
+		docs = append(docs, &alerter.Doc{
+			Meta: res.Meta, Status: res.Status, Doc: res.Doc, Delta: res.Delta,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		sys.Manager.ProcessDoc(docs[i%len(docs)])
+	}
+	elapsed := time.Since(start)
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "docs/s")
+	}
+}
+
 // BenchmarkFlowParallel measures the "Processing speed" distribution of
 // Section 4.2: splitting the document flow across workers that share the
 // Monitoring Query Processor (matching takes only a read lock).
 func BenchmarkFlowParallel(b *testing.B) {
-	w := webgen.GenEventWorkload(14, 100000, 200000, 3, 20, 4096)
+	cardC := shortScale([]int{200000}, []int{20000})[0]
+	w := webgen.GenEventWorkload(14, 100000, cardC, 3, 20, 4096)
 	matcher := loadMatcher(b, w)
-	for _, workers := range []int{1, 2, 4, 8} {
+	for _, workers := range shortScale([]int{1, 2, 4, 8}, []int{1}) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetParallelism(workers)
 			var i int64
 			b.RunParallel(func(pb *testing.PB) {
@@ -328,7 +392,7 @@ func BenchmarkFlowParallel(b *testing.B) {
 // frozen Compact snapshot (the memory-oriented ablation of Section 4.2's
 // 500 MB discussion); both run the same workload.
 func BenchmarkCompactMatcher(b *testing.B) {
-	w := webgen.GenEventWorkload(15, 100000, 200000, 3, 20, 1024)
+	w := webgen.GenEventWorkload(15, 100000, shortScale([]int{200000}, []int{20000})[0], 3, 20, 1024)
 	live := loadMatcher(b, w)
 	frozen := core.Freeze(live)
 	b.Run("live", func(b *testing.B) {
@@ -345,7 +409,7 @@ func BenchmarkCompactMatcher(b *testing.B) {
 // paper's future-work item on subscription churn: registrations and
 // removals per second against a loaded structure.
 func BenchmarkChurn(b *testing.B) {
-	w := webgen.GenEventWorkload(16, 100000, 200000, 3, 20, 1)
+	w := webgen.GenEventWorkload(16, 100000, shortScale([]int{200000}, []int{20000})[0], 3, 20, 1)
 	matcher := loadMatcher(b, w)
 	base := core.ComplexID(len(w.Complex))
 	b.Run("add+remove", func(b *testing.B) {
@@ -364,29 +428,44 @@ func BenchmarkChurn(b *testing.B) {
 
 // BenchmarkChurnWhileMatching interleaves matching with live updates: the
 // reader/writer contention a running system sees when users subscribe.
+// The churn goroutine records its first Add/Remove error instead of
+// discarding it — a silently failing writer would turn the benchmark into
+// an uncontended read loop and overstate match throughput.
 func BenchmarkChurnWhileMatching(b *testing.B) {
-	w := webgen.GenEventWorkload(17, 100000, 200000, 3, 20, 1024)
+	w := webgen.GenEventWorkload(17, 100000, shortScale([]int{200000}, []int{20000})[0], 3, 20, 1024)
 	matcher := loadMatcher(b, w)
 	stop := make(chan struct{})
+	done := make(chan error, 1)
 	go func() {
 		id := core.ComplexID(len(w.Complex))
 		for {
 			select {
 			case <-stop:
+				done <- nil
 				return
 			default:
 			}
-			matcher.Add(id, w.Complex[int(id)%len(w.Complex)])
-			matcher.Remove(id)
+			if err := matcher.Add(id, w.Complex[int(id)%len(w.Complex)]); err != nil {
+				done <- fmt.Errorf("churn Add(%d): %w", id, err)
+				return
+			}
+			if err := matcher.Remove(id); err != nil {
+				done <- fmt.Errorf("churn Remove(%d): %w", id, err)
+				return
+			}
 			id++
 		}
 	}()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		matcher.Match(w.Docs[i%len(w.Docs)])
 	}
 	b.StopTimer()
 	close(stop)
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkSubscribe measures full subscription registration through the
@@ -414,8 +493,8 @@ report when notifications.count > 1000`, i, i%1000, vocab[i%len(vocab)])
 // the per-document cost of the Section 4.2 distribution when blocks live
 // in other processes (here: other goroutines behind real sockets).
 func BenchmarkClusterMatch(b *testing.B) {
-	w := webgen.GenEventWorkload(18, 10000, 100000, 3, 20, 1024)
-	for _, blocks := range []int{1, 4} {
+	w := webgen.GenEventWorkload(18, 10000, shortScale([]int{100000}, []int{10000})[0], 3, 20, 1024)
+	for _, blocks := range shortScale([]int{1, 4}, []int{1}) {
 		parts := make([]*core.Matcher, blocks)
 		for i := range parts {
 			parts[i] = core.NewMatcher()

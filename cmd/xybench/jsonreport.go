@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"xymon"
+	"xymon/internal/alerter"
+	"xymon/internal/reporter"
+	"xymon/internal/sublang"
+	"xymon/internal/webgen"
+)
+
+// benchResult is one row of the JSON benchmark trajectory: the numbers the
+// de-contention work is judged by. DocsPerSec is zero for measurements
+// where a document rate makes no sense (e.g. reporter notifications).
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	DocsPerSec  float64 `json:"docs_per_sec,omitempty"`
+}
+
+type benchReport struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []benchResult `json:"results"`
+}
+
+// measure runs op like timeIt and additionally reports the mean heap
+// allocations per operation, from the runtime's Mallocs counter.
+func measure(name string, minDur time.Duration, minIters int, op func(i int)) benchResult {
+	warm := minIters / 4
+	if warm < 8 {
+		warm = 8
+	}
+	for i := 0; i < warm; i++ {
+		op(i)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < minDur || iters < minIters {
+		op(iters)
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchResult{
+		Name:        name,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+	}
+}
+
+// withDocsRate fills in the documents-per-second figure from ns/op.
+func (r benchResult) withDocsRate() benchResult {
+	if r.NsPerOp > 0 {
+		r.DocsPerSec = 1e9 / r.NsPerOp
+	}
+	return r
+}
+
+// runJSON measures the benchmark trajectory — the fixed set of hot-path
+// measurements tracked across PRs — and writes BENCH_<date>.json. The
+// scales are moderate on purpose: the trajectory is for trend comparison
+// (same machine, before vs after), not for reproducing the paper's
+// full-scale figures; use the named experiments for those.
+func runJSON() {
+	var results []benchResult
+
+	// Matcher, serial: the Figure 5 reference point (p=20) and the
+	// Section 4.2 throughput point at a large complex-event base.
+	{
+		w := webgen.GenEventWorkload(5, 100000, scale(100000), 3, 20, 1024)
+		m := buildMatcher(w)
+		results = append(results, measure("matcher/C=100000/p=20", 500*time.Millisecond, 512, func(i int) {
+			m.Match(w.Docs[i%len(w.Docs)])
+		}).withDocsRate())
+	}
+	{
+		w := webgen.GenEventWorkload(8, 100000, scale(1000000), 3, 20, 2048)
+		m := buildMatcher(w)
+		results = append(results, measure("matcher/C=1000000/p=20", 500*time.Millisecond, 512, func(i int) {
+			m.Match(w.Docs[i%len(w.Docs)])
+		}).withDocsRate())
+	}
+
+	// Matcher, parallel: 8 goroutines sharing one structure — the
+	// contention profile the sharded stats counters target.
+	{
+		w := webgen.GenEventWorkload(14, 100000, scale(200000), 3, 20, 2048)
+		m := buildMatcher(w)
+		const workers = 8
+		results = append(results, measure("matcher/parallel/workers=8", 500*time.Millisecond, 64, func(i int) {
+			done := make(chan struct{}, workers)
+			for g := 0; g < workers; g++ {
+				go func(g int) {
+					for j := 0; j < 8; j++ {
+						m.Match(w.Docs[(i*workers+g*8+j)%len(w.Docs)])
+					}
+					done <- struct{}{}
+				}(g)
+			}
+			for g := 0; g < workers; g++ {
+				<-done
+			}
+		}))
+		// One op is workers*8 matches; normalise to per-match numbers.
+		last := &results[len(results)-1]
+		last.NsPerOp /= workers * 8
+		last.AllocsPerOp /= workers * 8
+		*last = last.withDocsRate()
+	}
+
+	// Manager hot path: replay pre-committed documents through ProcessDoc
+	// (alerters, matching, notification building, batched delivery).
+	{
+		sys, err := xymon.New(xymon.Options{Delivery: xymon.DeliveryFunc(func(*xymon.Report) error { return nil })})
+		if err != nil {
+			panic(err)
+		}
+		vocab := webgen.Vocabulary()
+		for i := 0; i < scale(200); i++ {
+			src := fmt.Sprintf(`subscription Sub%d
+monitoring
+select <Hit url=URL/>
+where URL extends "http://shop%d.example/"
+  and new product contains %q
+report when notifications.count > 1000000`, i, i%50, vocab[i%len(vocab)])
+			if _, err := sys.Subscribe(src); err != nil {
+				panic(err)
+			}
+		}
+		site := webgen.NewSite(webgen.SiteSpec{BaseURL: "http://shop7.example", Pages: 1, Products: 30, Seed: 13})
+		url := site.XMLURLs()[0]
+		var docs []*alerter.Doc
+		for i := 0; i < 64; i++ {
+			res, err := sys.Store.CommitXML(url, "", "shopping", site.FetchXML(url, 1+i))
+			if err != nil {
+				panic(err)
+			}
+			docs = append(docs, &alerter.Doc{Meta: res.Meta, Status: res.Status, Doc: res.Doc, Delta: res.Delta})
+		}
+		results = append(results, measure("manager/processdoc", 500*time.Millisecond, 128, func(i int) {
+			sys.Manager.ProcessDoc(docs[i%len(docs)])
+		}).withDocsRate())
+	}
+
+	// Reporter ingestion: per-notification locking vs the batched path.
+	{
+		rep := reporter.New(nil)
+		const subs = 1000
+		for i := 0; i < subs; i++ {
+			rep.Register(fmt.Sprintf("S%d", i), &sublang.ReportSpec{
+				When: []sublang.ReportTerm{{Kind: sublang.TermCount, Count: 99}},
+			})
+		}
+		results = append(results, measure("reporter/notify", 300*time.Millisecond, 1024, func(i int) {
+			rep.Notify(reporter.Notification{Subscription: fmt.Sprintf("S%d", i%subs), Label: "UpdatedPage"})
+		}))
+		batch := make([]reporter.Notification, 16)
+		results = append(results, measure("reporter/notifybatch16", 300*time.Millisecond, 256, func(i int) {
+			for j := range batch {
+				batch[j] = reporter.Notification{Subscription: fmt.Sprintf("S%d", (i*16+j)%subs), Label: "UpdatedPage"}
+			}
+			rep.NotifyBatch(batch)
+		}))
+		// One op ingests 16 notifications; normalise per notification.
+		last := &results[len(results)-1]
+		last.NsPerOp /= 16
+		last.AllocsPerOp /= 16
+	}
+
+	rpt := benchReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    results,
+	}
+	out, err := json.MarshalIndent(rpt, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	out = append(out, '\n')
+	path := fmt.Sprintf("BENCH_%s.json", rpt.Date)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "xybench: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(out)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

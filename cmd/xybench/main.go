@@ -14,7 +14,10 @@
 //	xybench endtoend    Section 1: full chain, documents/day
 //	xybench all         everything above
 //
-// With -quick, scales are reduced ~10x for a fast smoke run.
+// With -quick, scales are reduced ~10x for a fast smoke run. With -json,
+// xybench instead runs the fixed benchmark-trajectory suite and writes
+// BENCH_<date>.json (ns/op, allocs/op, docs/s per measurement) for
+// before/after comparison across performance PRs.
 package main
 
 import (
@@ -23,7 +26,10 @@ import (
 	"os"
 )
 
-var quick = flag.Bool("quick", false, "reduce workload scales ~10x for a quick run")
+var (
+	quick   = flag.Bool("quick", false, "reduce workload scales ~10x for a quick run")
+	jsonOut = flag.Bool("json", false, "run the benchmark trajectory suite and write BENCH_<date>.json")
+)
 
 var experiments = []struct {
 	name string
@@ -47,6 +53,10 @@ var experiments = []struct {
 func main() {
 	flag.Usage = usage
 	flag.Parse()
+	if *jsonOut {
+		runJSON()
+		return
+	}
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
@@ -72,7 +82,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: xybench [-quick] <experiment>\n\nexperiments:\n")
+	fmt.Fprintf(os.Stderr, "usage: xybench [-quick] <experiment>\n       xybench [-quick] -json\n\nexperiments:\n")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-11s %s\n", e.name, e.desc)
 	}

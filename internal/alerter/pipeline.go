@@ -67,22 +67,39 @@ func (p *Pipeline) Unregister(code core.Event, cond sublang.Condition) {
 	p.mu.Unlock()
 }
 
+// detectScratch is the per-document working state of Detect, recycled
+// through a sync.Pool so the no-event common case allocates nothing. The
+// emit closure is built once per scratch — handing a fresh closure to the
+// alerters on every document would itself allocate.
+type detectScratch struct {
+	events []core.Event
+	emit   func(core.Event)
+}
+
+var detectPool = sync.Pool{New: func() any {
+	sc := &detectScratch{events: make([]core.Event, 0, 16)}
+	sc.emit = func(c core.Event) { sc.events = append(sc.events, c) }
+	return sc
+}}
+
 // Detect runs the chain on one document and returns the alert: the
 // canonical atomic event set plus the strong flag. A nil alert means no
 // event of interest was detected at all.
 func (p *Pipeline) Detect(d *Doc) *Alert {
-	var events []core.Event
-	emit := func(c core.Event) { events = append(events, c) }
-	p.URL.Detect(d, emit)
+	sc := detectPool.Get().(*detectScratch)
+	sc.events = sc.events[:0]
+	p.URL.Detect(d, sc.emit)
 	if d.Meta.Type == warehouse.XML {
-		p.XML.Detect(d, emit)
+		p.XML.Detect(d, sc.emit)
 	} else {
-		p.HTML.Detect(d, emit)
+		p.HTML.Detect(d, sc.emit)
 	}
-	if len(events) == 0 {
+	if len(sc.events) == 0 {
+		detectPool.Put(sc)
 		return nil
 	}
-	set := core.Canonical(events)
+	set := core.Canonical(sc.events) // copies, so the scratch can be reused
+	detectPool.Put(sc)
 	p.mu.RLock()
 	strong := false
 	for _, e := range set {

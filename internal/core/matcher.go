@@ -2,7 +2,9 @@ package core
 
 import (
 	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Matching statistics exposed for the experiments of Section 4.2.
@@ -43,6 +45,33 @@ type cell struct {
 // a...b, exactly as in Figure 4 of the paper.
 type table map[Event]*cell
 
+// statShard is one shard of the match counters. Shards are padded to a
+// cache line so concurrent Match calls on different shards never bounce
+// the same line between cores; Stats folds them on snapshot.
+type statShard struct {
+	matchCalls  atomic.Uint64
+	cellProbes  atomic.Uint64
+	matchedSets atomic.Uint64
+	_           [64 - 3*8]byte
+}
+
+// notifFrame is one pending table of the iterative Notif walk: a table to
+// probe and the event suffix that leads into it.
+type notifFrame struct {
+	t table
+	s EventSet
+}
+
+// matchScratch is the per-call state of MatchAppend, recycled through a
+// sync.Pool so the hot path performs no heap allocation beyond growing the
+// caller's result slice. Each scratch carries a stats shard chosen at
+// creation: the pool keeps scratches P-local, so the shard inherits the
+// same locality and counter updates stay uncontended.
+type matchScratch struct {
+	frames []notifFrame
+	shard  *statShard
+}
+
 // Matcher is the Monitoring Query Processor data structure. It supports
 // concurrent Match calls and dynamic Add/Remove of complex events (Section
 // 4.1 notes the subscription base changes while the system runs).
@@ -56,20 +85,36 @@ type Matcher struct {
 	cells  int
 	tables int
 
-	statMu      sync.Mutex
-	matchCalls  uint64
-	cellProbes  uint64
-	matchedSets uint64
+	// Matching statistics are sharded: MatchAppend bumps atomics on the
+	// shard attached to its pooled scratch, never a mutex, so the hot
+	// path cannot serialise the document flow (Section 4.2's capacity
+	// claim rests on workers scaling).
+	stats     []statShard
+	nextShard atomic.Uint32
+	scratch   sync.Pool
 }
 
 // NewMatcher returns an empty Monitoring Query Processor.
 func NewMatcher() *Matcher {
-	return &Matcher{
+	m := &Matcher{
 		root:   make(table),
 		defs:   make(map[ComplexID]EventSet),
 		degree: make(map[Event]int),
 		tables: 1,
 	}
+	shards := 4
+	for shards < runtime.GOMAXPROCS(0) && shards < 64 {
+		shards <<= 1
+	}
+	m.stats = make([]statShard, shards)
+	m.scratch.New = func() any {
+		i := m.nextShard.Add(1) - 1
+		return &matchScratch{
+			frames: make([]notifFrame, 0, 16),
+			shard:  &m.stats[int(i)%len(m.stats)],
+		}
+	}
+	return m
 }
 
 // Add registers the complex event id as the conjunction of the given atomic
@@ -197,55 +242,71 @@ func (m *Matcher) Match(s EventSet) []ComplexID {
 
 // MatchAppend appends matches to dst and returns the extended slice,
 // letting callers on the hot path reuse one buffer across documents.
+// It acquires no mutex for statistics: counters live on sharded atomics
+// and the traversal state on a pooled explicit stack, so concurrent
+// callers only share the structure's read lock.
 func (m *Matcher) MatchAppend(dst []ComplexID, s EventSet) []ComplexID {
+	sc := m.scratch.Get().(*matchScratch)
+	start := len(dst)
 	m.mu.RLock()
-	probes := uint64(0)
-	dst = m.notif(dst, m.root, s, &probes)
+	dst, frames, probes := m.notif(dst, sc.frames[:0], s)
 	m.mu.RUnlock()
+	sc.frames = frames // keep a grown stack for the next call
 
-	m.statMu.Lock()
-	m.matchCalls++
-	m.cellProbes += probes
-	if len(dst) > 0 {
-		m.matchedSets++
+	sh := sc.shard
+	sh.matchCalls.Add(1)
+	sh.cellProbes.Add(probes)
+	if len(dst) > start {
+		sh.matchedSets.Add(1)
 	}
-	m.statMu.Unlock()
+	m.scratch.Put(sc)
 	return dst
 }
 
-// notif intersects the incoming suffix with a table, probing whichever
-// side is smaller: the suffix against the hash table (the paper's
-// formulation), or — when the table is smaller, the common case in deep
-// H_prefix tables — the table entries against the sorted suffix. The
-// second direction is what keeps the observed cost linear in p: a visit
-// to a tiny subtable costs O(|table|), not O(remaining suffix).
-func (m *Matcher) notif(dst []ComplexID, t table, s EventSet, probes *uint64) []ComplexID {
-	if len(t) < len(s) {
-		for e, c := range t {
-			*probes++
-			i := suffixIndex(s, e)
-			if i < 0 {
+// notif intersects the incoming suffix with the root table and every
+// reachable child table, probing whichever side is smaller: the suffix
+// against the hash table (the paper's formulation), or — when the table is
+// smaller, the common case in deep H_prefix tables — the table entries
+// against the sorted suffix. The second direction is what keeps the
+// observed cost linear in p: a visit to a tiny subtable costs O(|table|),
+// not O(remaining suffix). Pending tables are kept on frames, an explicit
+// stack owned by the pooled scratch, instead of the goroutine stack: the
+// result order is unspecified, so the traversal order is free.
+func (m *Matcher) notif(dst []ComplexID, frames []notifFrame, s EventSet) ([]ComplexID, []notifFrame, uint64) {
+	probes := uint64(0)
+	frames = append(frames, notifFrame{t: m.root, s: s})
+	for len(frames) > 0 {
+		fr := frames[len(frames)-1]
+		frames[len(frames)-1] = notifFrame{} // drop structure references
+		frames = frames[:len(frames)-1]
+		t, s := fr.t, fr.s
+		if len(t) < len(s) {
+			for e, c := range t {
+				probes++
+				i := suffixIndex(s, e)
+				if i < 0 {
+					continue
+				}
+				dst = append(dst, c.marks...)
+				if c.child != nil && i+1 < len(s) {
+					frames = append(frames, notifFrame{t: c.child, s: s[i+1:]})
+				}
+			}
+			continue
+		}
+		for i, e := range s {
+			probes++
+			c := t[e]
+			if c == nil {
 				continue
 			}
 			dst = append(dst, c.marks...)
 			if c.child != nil && i+1 < len(s) {
-				dst = m.notif(dst, c.child, s[i+1:], probes)
+				frames = append(frames, notifFrame{t: c.child, s: s[i+1:]})
 			}
 		}
-		return dst
 	}
-	for i, e := range s {
-		*probes++
-		c := t[e]
-		if c == nil {
-			continue
-		}
-		dst = append(dst, c.marks...)
-		if c.child != nil && i+1 < len(s) {
-			dst = m.notif(dst, c.child, s[i+1:], probes)
-		}
-	}
-	return dst
+	return dst, frames[:0], probes
 }
 
 // suffixIndex binary-searches the canonical set for e, returning its index
@@ -333,11 +394,15 @@ func (m *Matcher) Stats() Stats {
 	st.MaxDepth = maxDepth
 	m.mu.RUnlock()
 
-	m.statMu.Lock()
-	st.MatchCalls = m.matchCalls
-	st.CellProbes = m.cellProbes
-	st.MatchedSets = m.matchedSets
-	m.statMu.Unlock()
+	// Fold the sharded match counters. Each shard is read atomically; the
+	// sum is a linearisable-enough snapshot for monitoring (a concurrent
+	// Match may straddle the fold, as it could straddle any lock here).
+	for i := range m.stats {
+		sh := &m.stats[i]
+		st.MatchCalls += sh.matchCalls.Load()
+		st.CellProbes += sh.cellProbes.Load()
+		st.MatchedSets += sh.matchedSets.Load()
+	}
 	return st
 }
 

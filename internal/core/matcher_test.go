@@ -416,3 +416,74 @@ func mustAdd(t *testing.T, m *Matcher, id ComplexID, events []Event) {
 		t.Fatalf("Add(%d, %v): %v", id, events, err)
 	}
 }
+
+// TestParallelMatchStats drives MatchAppend from many goroutines at once
+// and checks the sharded counters fold to exact totals. Under -race this
+// also proves the stats path performs no locked (or unsynchronised) shared
+// writes: every update is an atomic on a shard, every read a fold.
+func TestParallelMatchStats(t *testing.T) {
+	m := NewMatcher()
+	for id := ComplexID(0); id < 200; id++ {
+		mustAdd(t, m, id, []Event{Event(id % 31), Event(id%31 + 40)})
+	}
+	const (
+		workers = 8
+		iters   = 500
+	)
+	matched := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []ComplexID
+			for i := 0; i < iters; i++ {
+				s := EventSet{Event(i % 31), Event(i%31 + 40)}
+				buf = m.MatchAppend(buf[:0], s)
+				if len(buf) > 0 {
+					matched[w]++
+				}
+				// Interleave snapshots with matches: Stats must never
+				// tear or race with the shard updates.
+				if i%64 == 0 {
+					m.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.MatchCalls != workers*iters {
+		t.Errorf("MatchCalls = %d, want %d", st.MatchCalls, workers*iters)
+	}
+	var wantMatched uint64
+	for _, n := range matched {
+		wantMatched += n
+	}
+	if st.MatchedSets != wantMatched {
+		t.Errorf("MatchedSets = %d, want %d", st.MatchedSets, wantMatched)
+	}
+	if st.CellProbes == 0 {
+		t.Error("CellProbes = 0 after parallel matching")
+	}
+}
+
+// TestMatchAppendCountsOnlyNewMatches pins the MatchedSets semantics: a
+// call that appends nothing to a non-empty destination buffer is not a
+// matched set.
+func TestMatchAppendCountsOnlyNewMatches(t *testing.T) {
+	m := NewMatcher()
+	mustAdd(t, m, 1, []Event{5})
+	buf := m.MatchAppend(nil, EventSet{5})
+	if len(buf) != 1 {
+		t.Fatalf("MatchAppend = %v", buf)
+	}
+	buf = m.MatchAppend(buf, EventSet{99}) // no match, reused buffer
+	if len(buf) != 1 {
+		t.Fatalf("MatchAppend after miss = %v", buf)
+	}
+	st := m.Stats()
+	if st.MatchCalls != 2 || st.MatchedSets != 1 {
+		t.Errorf("MatchCalls=%d MatchedSets=%d, want 2 and 1", st.MatchCalls, st.MatchedSets)
+	}
+}

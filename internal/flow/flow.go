@@ -10,6 +10,7 @@ package flow
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"xymon/internal/alerter"
 )
@@ -21,15 +22,21 @@ type Handler func(*alerter.Doc) int
 var ErrClosed = errors.New("flow: runner is closed")
 
 // Runner is a fixed-size worker pool over a buffered document queue.
+// Per-document counters are atomics so workers never serialise on a
+// bookkeeping lock between documents.
 type Runner struct {
 	handler Handler
 	queue   chan *alerter.Doc
 	wg      sync.WaitGroup
 
-	mu            sync.Mutex
-	closed        bool
-	docs          uint64
-	notifications uint64
+	// closeMu arbitrates Submit against Close: submitters send while
+	// holding it shared, Close flips closed and closes the queue while
+	// holding it exclusively, so a send can never hit a closed channel.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
+
+	docs          atomic.Uint64
+	notifications atomic.Uint64
 }
 
 // NewRunner starts workers goroutines draining a queue of the given
@@ -56,42 +63,46 @@ func (r *Runner) work() {
 	defer r.wg.Done()
 	for d := range r.queue {
 		n := r.handler(d)
-		r.mu.Lock()
-		r.docs++
-		r.notifications += uint64(n)
-		r.mu.Unlock()
+		r.docs.Add(1)
+		r.notifications.Add(uint64(n))
 	}
 }
 
 // Submit enqueues a document, blocking while the queue is full — the
 // back-pressure that keeps a fast crawler from overrunning the processor.
+// Submit is safe to race with Close: either the document is accepted
+// before the queue closes or ErrClosed is returned, never a panic.
 func (r *Runner) Submit(d *alerter.Doc) error {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	if r.closed.Load() {
 		return ErrClosed
 	}
-	r.mu.Unlock()
-	r.queue <- d
+	r.closeMu.RLock()
+	if r.closed.Load() {
+		r.closeMu.RUnlock()
+		return ErrClosed
+	}
+	// The send blocks under the read lock on purpose: Close cannot close
+	// the channel until every in-flight send has finished, and workers
+	// keep draining the queue, so the send always completes.
+	r.queue <- d //xyvet:ignore lockcheck send must hold closeMu shared so Close cannot close the queue mid-send
+	r.closeMu.RUnlock()
 	return nil
 }
 
 // Close stops accepting documents and waits for the queue to drain.
 func (r *Runner) Close() {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	r.closeMu.Lock()
+	if r.closed.Swap(true) {
+		r.closeMu.Unlock()
+		r.wg.Wait()
 		return
 	}
-	r.closed = true
-	r.mu.Unlock()
 	close(r.queue)
+	r.closeMu.Unlock()
 	r.wg.Wait()
 }
 
 // Stats returns documents processed and notifications produced so far.
 func (r *Runner) Stats() (docs, notifications uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.docs, r.notifications
+	return r.docs.Load(), r.notifications.Load()
 }

@@ -50,3 +50,45 @@ func TestRunnerClampsArguments(t *testing.T) {
 		t.Errorf("docs = %d", docs)
 	}
 }
+
+// TestSubmitDuringClose races many submitters against Close: every Submit
+// must either enqueue the document (counted by the handler) or return
+// ErrClosed — never panic on a closed queue or lose a document silently.
+// Run with -race to exercise the closeMu handshake.
+func TestSubmitDuringClose(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		var handled atomic.Uint64
+		r := NewRunner(2, 1, func(*alerter.Doc) int {
+			handled.Add(1)
+			return 0
+		})
+		const submitters = 4
+		var accepted atomic.Uint64
+		done := make(chan struct{})
+		for i := 0; i < submitters; i++ {
+			go func() {
+				defer func() { done <- struct{}{} }()
+				for j := 0; j < 20; j++ {
+					if err := r.Submit(&alerter.Doc{}); err != nil {
+						if err != ErrClosed {
+							t.Errorf("Submit: %v", err)
+						}
+						return
+					}
+					accepted.Add(1)
+				}
+			}()
+		}
+		r.Close() // races with the submitters
+		for i := 0; i < submitters; i++ {
+			<-done
+		}
+		if got, want := handled.Load(), accepted.Load(); got != want {
+			t.Fatalf("round %d: handled %d of %d accepted documents", round, got, want)
+		}
+		docs, _ := r.Stats()
+		if docs != accepted.Load() {
+			t.Fatalf("round %d: Stats docs = %d, accepted = %d", round, docs, accepted.Load())
+		}
+	}
+}

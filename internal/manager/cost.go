@@ -161,11 +161,11 @@ func (m *Manager) noteNotificationsLocked(rs *registeredSub, produced int) {
 	}
 	if rs.docsWindow == 0 {
 		// Window opens at the first notification after a reset.
-		rs.docsWindow = int(m.docsProcessed)
+		rs.docsWindow = int(m.docsProcessed.Load())
 	}
 	rs.notifWindow += produced
 	const window = 64 // processed documents per observation window
-	span := int(m.docsProcessed) - rs.docsWindow + 1
+	span := int(m.docsProcessed.Load()) - rs.docsWindow + 1
 	if span < window {
 		return
 	}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xymon/internal/alerter"
@@ -86,10 +87,56 @@ type Manager struct {
 	inhibitRate float64
 	suspensions uint64
 
-	docsProcessed uint64
-	alertsSent    uint64
-	weakSuppress  uint64
-	notifications uint64
+	// The per-document counters are atomics, not m.mu state: ProcessDoc
+	// runs on every fetched document across all flow workers, and the
+	// happy path (no alert, or a weak-only alert) must not serialise on
+	// the subscription-base lock.
+	docsProcessed atomic.Uint64
+	alertsSent    atomic.Uint64
+	weakSuppress  atomic.Uint64
+	notifications atomic.Uint64
+}
+
+// processScratch is the per-alert working state of ProcessAlert, recycled
+// through a sync.Pool so a document that raises notifications performs no
+// map or slice allocation for bookkeeping (the payload elements still
+// allocate — they are handed to the Reporter).
+type processScratch struct {
+	matched []core.ComplexID
+	queries []*registeredQuery
+	batch   []reporter.Notification
+	trig    []triggerRef
+	seen    map[uint64]struct{}
+	perSub  map[string]int
+}
+
+// triggerRef records a (subscription, label) pair whose continuous
+// queries must be poked once the notification batch is delivered.
+type triggerRef struct{ sub, label string }
+
+var processPool = sync.Pool{New: func() any {
+	return &processScratch{
+		seen:   make(map[uint64]struct{}, 16),
+		perSub: make(map[string]int, 8),
+	}
+}}
+
+// release scrubs pointer-carrying state and returns the scratch to the
+// pool; maps are cleared, slices keep their capacity.
+func (sc *processScratch) release() {
+	clear(sc.seen)
+	clear(sc.perSub)
+	sc.matched = sc.matched[:0] // plain values, no scrub needed
+	for i := range sc.queries {
+		sc.queries[i] = nil
+	}
+	sc.queries = sc.queries[:0]
+	for i := range sc.batch {
+		sc.batch[i] = reporter.Notification{}
+	}
+	sc.batch = sc.batch[:0]
+	sc.trig = sc.trig[:0]
+	processPool.Put(sc)
 }
 
 // Config wires the manager to the other modules. Matcher, Pipeline,
@@ -275,82 +322,88 @@ func (m *Manager) releaseEventLocked(code core.Event) {
 // ProcessDoc runs the full notification chain on one fetched document:
 // alerter detection, the weak/strong filter, monitoring-query matching and
 // notification dispatch. It returns the number of notifications produced.
+// The happy path — no event of interest, or a weak-only alert — touches
+// only atomics, never m.mu, so flow workers do not serialise here.
 func (m *Manager) ProcessDoc(d *alerter.Doc) int {
-	m.mu.Lock()
-	m.docsProcessed++
-	m.mu.Unlock()
+	m.docsProcessed.Add(1)
 	a := m.pipeline.Detect(d)
 	if a == nil {
 		return 0
 	}
 	if !a.Strong {
-		m.mu.Lock()
-		m.weakSuppress++
-		m.mu.Unlock()
+		m.weakSuppress.Add(1)
 		return 0
 	}
 	return m.ProcessAlert(a)
 }
 
 // ProcessAlert matches an alert against the subscription base and
-// dispatches the notifications of every matched monitoring query.
+// dispatches the notifications of every matched monitoring query. The
+// notifications of one alert are handed to the Reporter as a single batch,
+// amortising its lock acquisitions across the whole document.
 func (m *Manager) ProcessAlert(a *alerter.Alert) int {
-	matched := m.matcher.Match(a.Events)
+	sc := processPool.Get().(*processScratch)
+	sc.matched = m.matcher.MatchAppend(sc.matched[:0], a.Events)
+	m.alertsSent.Add(1)
 	m.mu.Lock()
-	m.alertsSent++
-	queries := make([]*registeredQuery, 0, len(matched))
-	for _, id := range matched {
+	for _, id := range sc.matched {
 		if rq := m.complexOf[id]; rq != nil {
-			queries = append(queries, rq)
+			sc.queries = append(sc.queries, rq)
 		}
 	}
 	m.mu.Unlock()
 
-	produced := 0
-	perSub := make(map[string]int)
 	now := m.clock()
-	// Disjunctive where clauses compile to several complex events sharing
-	// one select (see sublang); when a document matches more than one
-	// disjunct, the subscriber still gets each notification payload once.
-	seen := make(map[string]bool)
-	for _, rq := range queries {
+	for _, rq := range sc.queries {
 		label := rq.mq.Label()
 		elems := m.buildNotifications(rq, a.Doc)
 		triggered := false
 		for _, el := range elems {
-			key := rq.sub + "\x00" + label + "\x00" + el.XML()
-			if seen[key] {
+			// Disjunctive where clauses compile to several complex events
+			// sharing one select (see sublang); when a document matches
+			// more than one disjunct, the subscriber still gets each
+			// notification payload once. The key is a structural hash of
+			// (subscription, label, payload) — serialising the payload to
+			// XML per notification was the dominant dedup cost.
+			key := el.Hash64(xmldom.HashFold(xmldom.HashFold(xmldom.HashSeed(), rq.sub), label))
+			if _, dup := sc.seen[key]; dup {
 				continue
 			}
-			seen[key] = true
-			m.reporter.Notify(reporter.Notification{
+			sc.seen[key] = struct{}{}
+			sc.batch = append(sc.batch, reporter.Notification{
 				Subscription: rq.sub,
 				Label:        label,
 				Element:      el,
 				Time:         now,
 			})
-			produced++
-			perSub[rq.sub]++
+			sc.perSub[rq.sub]++
 			triggered = true
 		}
-		// Continuous queries may be triggered by this notification.
+		// Continuous queries may be triggered by this notification; fire
+		// them after the batch below, once the Reporter has the payloads.
 		if triggered {
-			m.trigger.OnNotification(rq.sub, label)
+			sc.trig = append(sc.trig, triggerRef{sub: rq.sub, label: label})
 		}
 	}
-	m.mu.Lock()
-	m.notifications += uint64(produced)
-	if m.inhibitRate > 0 {
+	produced := len(sc.batch)
+	m.reporter.NotifyBatch(sc.batch)
+	for _, tr := range sc.trig {
+		m.trigger.OnNotification(tr.sub, tr.label)
+	}
+	m.notifications.Add(uint64(produced))
+	if m.inhibitRate > 0 && len(sc.perSub) > 0 {
+		m.mu.Lock()
 		// Only subscriptions that produced notifications advance their
 		// window: silent subscriptions can never exceed the rate budget,
 		// and touching the whole base per alert would not scale.
-		for sub, n := range perSub {
+		for sub, n := range sc.perSub {
 			if rs := m.subs[sub]; rs != nil {
 				m.noteNotificationsLocked(rs, n)
 			}
 		}
+		m.mu.Unlock()
 	}
-	m.mu.Unlock()
+	sc.release()
 	return produced
 }
 
@@ -586,10 +639,10 @@ func (m *Manager) Stats() Stats {
 		Subscriptions: len(m.subs),
 		AtomicEvents:  len(m.condRef),
 		ComplexEvents: len(m.complexOf),
-		DocsProcessed: m.docsProcessed,
-		AlertsSent:    m.alertsSent,
-		WeakSuppress:  m.weakSuppress,
-		Notifications: m.notifications,
+		DocsProcessed: m.docsProcessed.Load(),
+		AlertsSent:    m.alertsSent.Load(),
+		WeakSuppress:  m.weakSuppress.Load(),
+		Notifications: m.notifications.Load(),
 		Suspensions:   m.suspensions,
 	}
 }

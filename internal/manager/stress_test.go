@@ -121,3 +121,87 @@ report when immediate
 		t.Error("no report was delivered during the stress run")
 	}
 }
+
+// TestConcurrentProcessDocChurn focuses the race probe on the de-contended
+// hot path: document pushers hammer ProcessDoc — pooled scratch, atomic
+// counters, batched reporter delivery — while churners add and remove the
+// same subscriptions over and over. Unlike TestManagerStress it pins exact
+// counter arithmetic: every ProcessDoc call must be counted exactly once
+// and every alert be either sent or weak-suppressed.
+func TestConcurrentProcessDocChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		churners  = 2
+		pushers   = 4
+		churns    = 80
+		pushIters = 150
+	)
+
+	rep := reporter.New(nil)
+	store := warehouse.NewStore()
+	eng := trigger.New(store.AllRoots, func(trigger.Result) {})
+	mgr := New(Config{
+		Matcher:  core.NewMatcher(),
+		Pipeline: alerter.NewPipeline(nil),
+		Reporter: rep,
+		Trigger:  eng,
+	})
+
+	// Pre-commit the documents so pushers only exercise ProcessDoc.
+	docs := make([]*alerter.Doc, 0, 32)
+	for i := 0; i < 32; i++ {
+		url := fmt.Sprintf("http://churn.example/page%d.xml", i)
+		xml := fmt.Sprintf(`<catalog><product id="p%d"><price>%d</price></product></catalog>`, i, i)
+		res, err := store.CommitXML(url, "", "churn", xmldom.MustParse(xml))
+		if err != nil {
+			t.Fatalf("CommitXML: %v", err)
+		}
+		docs = append(docs, &alerter.Doc{Meta: res.Meta, Status: res.Status, Doc: res.Doc, Delta: res.Delta})
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < churns; i++ {
+				name := fmt.Sprintf("Churn_%d_%d", c, i)
+				src := fmt.Sprintf(`subscription %s
+monitoring
+select <Price url=URL/>
+where URL extends "http://churn.example/" and modified self
+report when immediate
+`, name)
+				if _, err := mgr.Subscribe(src); err != nil {
+					t.Errorf("Subscribe: %v", err)
+					return
+				}
+				if err := mgr.Unsubscribe(name); err != nil {
+					t.Errorf("Unsubscribe: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < pushIters; i++ {
+				mgr.ProcessDoc(docs[(p*pushIters+i)%len(docs)])
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	st := mgr.Stats()
+	if want := uint64(pushers * pushIters); st.DocsProcessed != want {
+		t.Errorf("DocsProcessed = %d, want %d", st.DocsProcessed, want)
+	}
+	if st.AlertsSent+st.WeakSuppress > st.DocsProcessed {
+		t.Errorf("AlertsSent+WeakSuppress = %d exceeds DocsProcessed = %d",
+			st.AlertsSent+st.WeakSuppress, st.DocsProcessed)
+	}
+}

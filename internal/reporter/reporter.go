@@ -12,6 +12,7 @@ package reporter
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xymon/internal/sublang"
@@ -60,17 +61,34 @@ type subState struct {
 	start      time.Time
 }
 
+// stripeCount is the number of lock stripes the subscription state is
+// spread over. 16 stripes keep the probability of two concurrent flow
+// workers colliding on one lock low without bloating the structure.
+const stripeCount = 16
+
+// stripe is one shard of the Reporter: a mutex and the subscriptions
+// hashed onto it. Striping the single reporter lock is what lets the
+// Reporter absorb the notification output of many parallel document
+// workers (the paper's 2.4M notifications/day figure is a lower bound).
+type stripe struct {
+	mu   sync.Mutex
+	subs map[string]*subState
+}
+
 // Reporter buffers notifications and produces reports. Safe for
-// concurrent use.
+// concurrent use; per-subscription state is striped by subscription name.
 type Reporter struct {
-	mu       sync.Mutex
-	subs     map[string]*subState
+	stripes  [stripeCount]stripe
 	delivery Delivery
 	clock    func() time.Time
-	archive  []archivedReport
 
-	delivered uint64
-	failed    uint64
+	// The archive is small and cold (report generation only), so it keeps
+	// a single dedicated lock instead of joining the striping.
+	archMu  sync.Mutex
+	archive []archivedReport
+
+	delivered atomic.Uint64
+	failed    atomic.Uint64
 }
 
 type archivedReport struct {
@@ -89,9 +107,11 @@ func WithClock(clock func() time.Time) Option {
 // New returns a Reporter delivering to sink (nil discards reports).
 func New(sink Delivery, opts ...Option) *Reporter {
 	r := &Reporter{
-		subs:     make(map[string]*subState),
 		delivery: sink,
 		clock:    time.Now,
+	}
+	for i := range r.stripes {
+		r.stripes[i].subs = make(map[string]*subState)
 	}
 	for _, o := range opts {
 		o(r)
@@ -102,6 +122,15 @@ func New(sink Delivery, opts ...Option) *Reporter {
 	return r
 }
 
+// stripeIndex hashes a subscription name onto its stripe (FNV-1a).
+func stripeIndex(sub string) int {
+	return int(xmldom.HashFold(xmldom.HashSeed(), sub) % stripeCount)
+}
+
+func (r *Reporter) stripeFor(sub string) *stripe {
+	return &r.stripes[stripeIndex(sub)]
+}
+
 // Register creates reporting state for a subscription. A nil spec installs
 // an immediate-report default.
 func (r *Reporter) Register(sub string, spec *sublang.ReportSpec) {
@@ -109,9 +138,10 @@ func (r *Reporter) Register(sub string, spec *sublang.ReportSpec) {
 		spec = &sublang.ReportSpec{When: []sublang.ReportTerm{{Kind: sublang.TermImmediate}}}
 	}
 	now := r.clock()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.subs[sub] = &subState{
+	s := r.stripeFor(sub)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs[sub] = &subState{
 		spec:       spec,
 		labelCount: make(map[string]int),
 		start:      now,
@@ -119,18 +149,26 @@ func (r *Reporter) Register(sub string, spec *sublang.ReportSpec) {
 	}
 }
 
-// Unregister drops a subscription's reporting state.
+// Unregister drops a subscription's reporting state and detaches it from
+// any subscription it follows. Follower links may live on any stripe, so
+// the scan takes each stripe lock in turn (never two at once).
 func (r *Reporter) Unregister(sub string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	delete(r.subs, sub)
-	for _, st := range r.subs {
-		for i, f := range st.followers {
-			if f == sub {
-				st.followers = append(st.followers[:i], st.followers[i+1:]...)
-				break
+	s := r.stripeFor(sub)
+	s.mu.Lock()
+	delete(s.subs, sub)
+	s.mu.Unlock()
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		for _, state := range st.subs {
+			for j, f := range state.followers {
+				if f == sub {
+					state.followers = append(state.followers[:j], state.followers[j+1:]...)
+					break
+				}
 			}
 		}
+		st.mu.Unlock()
 	}
 }
 
@@ -138,9 +176,10 @@ func (r *Reporter) Unregister(sub string) {
 // target is also delivered on behalf of follower. Creating the monitoring
 // work happens once; following only puts stress on the Reporter.
 func (r *Reporter) Follow(follower, target string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	st, ok := r.subs[target]
+	s := r.stripeFor(target)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.subs[target]
 	if !ok {
 		return fmt.Errorf("reporter: unknown subscription %q", target)
 	}
@@ -150,26 +189,74 @@ func (r *Reporter) Follow(follower, target string) error {
 
 // Notify appends a notification to its subscription's buffer and fires a
 // report when the subscription's when condition holds. Delivery happens
-// after the reporter's lock is released, so a Delivery implementation may
+// after the stripe's lock is released, so a Delivery implementation may
 // call back into the Reporter without deadlocking.
 func (r *Reporter) Notify(n Notification) {
 	now := r.clock()
-	r.mu.Lock()
+	s := r.stripeFor(n.Subscription)
+	s.mu.Lock()
 	var reps []*Report
-	if st, ok := r.subs[n.Subscription]; ok {
-		if st.spec.AtMostCount > 0 && len(st.buffer) >= st.spec.AtMostCount {
-			// atmost N: stop registering new notifications until the next report.
-			st.dropped++
-		} else {
-			st.buffer = append(st.buffer, n)
-			st.labelCount[n.Label]++
-			if r.conditionHolds(st, now, true) {
-				reps = r.buildLocked(n.Subscription, st, now)
+	if st, ok := s.subs[n.Subscription]; ok {
+		reps = r.noteLocked(n.Subscription, st, n, now)
+	}
+	s.mu.Unlock()
+	r.deliver(reps)
+}
+
+// NotifyBatch ingests the notifications of one processed document in a
+// single pass: each stripe that appears in the batch is locked exactly
+// once, however many notifications map onto it. This is the amortisation
+// the manager's per-alert batches rely on — with immediate-report
+// subscriptions, per-notification locking costs one acquire per payload,
+// batch locking one per stripe. Delivery of every fired report happens
+// after all stripe locks are released.
+func (r *Reporter) NotifyBatch(ns []Notification) {
+	if len(ns) == 0 {
+		return
+	}
+	if len(ns) == 1 {
+		r.Notify(ns[0])
+		return
+	}
+	now := r.clock()
+	var want [stripeCount]bool
+	for i := range ns {
+		want[stripeIndex(ns[i].Subscription)] = true
+	}
+	var reps []*Report
+	for si := range r.stripes {
+		if !want[si] {
+			continue
+		}
+		s := &r.stripes[si]
+		s.mu.Lock()
+		for i := range ns {
+			if stripeIndex(ns[i].Subscription) != si {
+				continue
+			}
+			if st, ok := s.subs[ns[i].Subscription]; ok {
+				reps = append(reps, r.noteLocked(ns[i].Subscription, st, ns[i], now)...)
 			}
 		}
+		s.mu.Unlock()
 	}
-	r.mu.Unlock()
 	r.deliver(reps)
+}
+
+// noteLocked registers one notification on a subscription's state — the
+// caller holds the stripe lock — and returns any reports it fired.
+func (r *Reporter) noteLocked(sub string, st *subState, n Notification, now time.Time) []*Report {
+	if st.spec.AtMostCount > 0 && len(st.buffer) >= st.spec.AtMostCount {
+		// atmost N: stop registering new notifications until the next report.
+		st.dropped++
+		return nil
+	}
+	st.buffer = append(st.buffer, n)
+	st.labelCount[n.Label]++
+	if r.conditionHolds(st, now, true) {
+		return r.buildLocked(sub, st, now)
+	}
+	return nil
 }
 
 // Tick evaluates time-based conditions (periodic terms, rate-limited
@@ -177,26 +264,31 @@ func (r *Reporter) Notify(n Notification) {
 // Reporter owns a timer.
 func (r *Reporter) Tick() {
 	now := r.clock()
-	r.mu.Lock()
 	var reps []*Report
-	for sub, st := range r.subs {
-		if len(st.buffer) == 0 && !st.pending {
-			// Periodic reports with empty buffers are not sent; the paper's
-			// report queries run over gathered notifications.
-			if r.periodicDue(st, now) {
-				st.lastReport = now
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		for sub, st := range s.subs {
+			if len(st.buffer) == 0 && !st.pending {
+				// Periodic reports with empty buffers are not sent; the paper's
+				// report queries run over gathered notifications.
+				if r.periodicDue(st, now) {
+					st.lastReport = now
+				}
+				continue
 			}
-			continue
+			fire := st.pending && !r.rateLimited(st, now)
+			if !fire && r.conditionHolds(st, now, false) {
+				fire = true
+			}
+			if fire {
+				reps = append(reps, r.buildLocked(sub, st, now)...)
+			}
 		}
-		fire := st.pending && !r.rateLimited(st, now)
-		if !fire && r.conditionHolds(st, now, false) {
-			fire = true
-		}
-		if fire {
-			reps = append(reps, r.buildLocked(sub, st, now)...)
-		}
+		s.mu.Unlock()
 	}
 	// Garbage-collect expired archived reports.
+	r.archMu.Lock()
 	keep := r.archive[:0]
 	for _, a := range r.archive {
 		if a.expiry.After(now) {
@@ -204,7 +296,7 @@ func (r *Reporter) Tick() {
 		}
 	}
 	r.archive = keep
-	r.mu.Unlock()
+	r.archMu.Unlock()
 	r.deliver(reps)
 }
 
@@ -269,9 +361,9 @@ func (r *Reporter) rateLimited(st *subState, now time.Time) bool {
 // buildLocked renders and post-processes the report and resets the buffer
 // ("the generation of a report empties the global buffer of notification
 // answers"), returning one copy per recipient (the subscriber plus its
-// virtual followers). The caller delivers them once the lock is released:
-// holding r.mu across the Delivery callback would deadlock any sink that
-// calls back into the Reporter.
+// virtual followers). The caller delivers them once its stripe lock is
+// released: holding a stripe lock across the Delivery callback would
+// deadlock any sink that calls back into the Reporter.
 func (r *Reporter) buildLocked(sub string, st *subState, now time.Time) []*Report {
 	doc := xmldom.Element("Report")
 	for _, n := range st.buffer {
@@ -293,7 +385,9 @@ func (r *Reporter) buildLocked(sub string, st *subState, now time.Time) []*Repor
 	st.hasReport = true
 	st.pending = false
 	if st.spec.Archive > 0 {
+		r.archMu.Lock()
 		r.archive = append(r.archive, archivedReport{rep: rep, expiry: now.Add(st.spec.Archive.Duration())})
+		r.archMu.Unlock()
 	}
 	out := []*Report{rep}
 	for _, rcpt := range st.followers {
@@ -303,30 +397,23 @@ func (r *Reporter) buildLocked(sub string, st *subState, now time.Time) []*Repor
 }
 
 // deliver hands finished reports to the sink — with no lock held — and
-// folds the outcome back into the counters.
+// folds the outcome into the counters.
 func (r *Reporter) deliver(reps []*Report) {
-	if len(reps) == 0 {
-		return
-	}
-	var delivered, failed uint64
 	for _, rep := range reps {
 		if err := r.delivery.Deliver(rep); err != nil {
-			failed++
+			r.failed.Add(1)
 		} else {
-			delivered++
+			r.delivered.Add(1)
 		}
 	}
-	r.mu.Lock()
-	r.delivered += delivered
-	r.failed += failed
-	r.mu.Unlock()
 }
 
 // Buffered returns the number of notifications waiting for a subscription.
 func (r *Reporter) Buffered(sub string) int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if st := r.subs[sub]; st != nil {
+	s := r.stripeFor(sub)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.subs[sub]; st != nil {
 		return len(st.buffer)
 	}
 	return 0
@@ -335,8 +422,8 @@ func (r *Reporter) Buffered(sub string) int {
 // Archived returns the archived reports of a subscription that have not
 // expired yet.
 func (r *Reporter) Archived(sub string) []*Report {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.archMu.Lock()
+	defer r.archMu.Unlock()
 	var out []*Report
 	for _, a := range r.archive {
 		if a.rep.Subscription == sub {
@@ -348,7 +435,5 @@ func (r *Reporter) Archived(sub string) []*Report {
 
 // Stats returns delivery counters.
 func (r *Reporter) Stats() (delivered, failed uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.delivered, r.failed
+	return r.delivered.Load(), r.failed.Load()
 }

@@ -294,3 +294,55 @@ func TestEmailSinkCapacity(t *testing.T) {
 		t.Errorf("sent = %v", msgs)
 	}
 }
+
+func TestNotifyBatch(t *testing.T) {
+	c := newClock()
+	r, reports := collectReports(t, WithClock(c.now))
+	// Many subscriptions so the batch spans several stripes.
+	subs := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	for _, s := range subs {
+		r.Register(s, nil) // immediate
+	}
+	var batch []Notification
+	for _, s := range subs {
+		batch = append(batch, notif(s, "Page"))
+	}
+	r.NotifyBatch(batch)
+	if len(*reports) != len(subs) {
+		t.Fatalf("reports = %d, want %d", len(*reports), len(subs))
+	}
+	got := make(map[string]bool)
+	for _, rep := range *reports {
+		got[rep.Subscription] = true
+	}
+	for _, s := range subs {
+		if !got[s] {
+			t.Errorf("no report for %q", s)
+		}
+	}
+}
+
+func TestNotifyBatchCountFiresMidBatch(t *testing.T) {
+	c := newClock()
+	r, reports := collectReports(t, WithClock(c.now))
+	r.Register("S", countSpec(1)) // fires at the 2nd notification
+	r.NotifyBatch([]Notification{
+		notif("S", "X"), notif("S", "X"), notif("S", "X"),
+	})
+	// The 2nd notification fires a 2-element report; the 3rd stays buffered.
+	if len(*reports) != 1 || (*reports)[0].Notifications != 2 {
+		t.Fatalf("reports = %v", *reports)
+	}
+	if r.Buffered("S") != 1 {
+		t.Errorf("buffered = %d, want 1", r.Buffered("S"))
+	}
+}
+
+func TestNotifyBatchUnknownAndEmpty(t *testing.T) {
+	r, reports := collectReports(t)
+	r.NotifyBatch(nil)
+	r.NotifyBatch([]Notification{notif("ghost", "X")})
+	if len(*reports) != 0 {
+		t.Fatalf("reports = %d, want 0", len(*reports))
+	}
+}

@@ -293,6 +293,58 @@ func (n *Node) Elements(tag string) []*Node {
 	return out
 }
 
+// fnv64 constants for the structural hash below (FNV-1a).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashFold folds s into an FNV-1a running hash. Exported so callers
+// composing a node hash with other key parts (a subscription name, a
+// label) can stay on one allocation-free hash chain.
+func HashFold(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	// Separate fields so ("ab","c") and ("a","bc") fold differently.
+	h ^= 0xff
+	h *= fnvPrime64
+	return h
+}
+
+// HashSeed returns the canonical seed for a HashFold / Hash64 chain.
+func HashSeed() uint64 { return fnvOffset64 }
+
+// Hash64 folds a structural fingerprint of the subtree rooted at n into
+// the running FNV-1a hash h (seed with HashSeed): node kinds, tags, text,
+// attribute name/value pairs and child structure all contribute. Two
+// subtrees that serialise to the same XML fold identically, without
+// materialising the serialisation — this is the notification dedup key of
+// the hot path. XIDs and parent links are ignored, like in XML().
+func (n *Node) Hash64(h uint64) uint64 {
+	if n.Type == TextNode {
+		h ^= 't'
+		h *= fnvPrime64
+		return HashFold(h, n.Text)
+	}
+	h ^= 'e'
+	h *= fnvPrime64
+	h = HashFold(h, n.Tag)
+	for _, a := range n.Attrs {
+		h = HashFold(h, a.Name)
+		h = HashFold(h, a.Value)
+	}
+	h ^= '>'
+	h *= fnvPrime64
+	for _, c := range n.Children {
+		h = c.Hash64(h)
+	}
+	h ^= '<'
+	h *= fnvPrime64
+	return h
+}
+
 func (n *Node) String() string {
 	if n.Type == TextNode {
 		return fmt.Sprintf("#text(%q)", n.Text)

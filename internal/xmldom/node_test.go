@@ -197,3 +197,45 @@ func TestAttrs(t *testing.T) {
 		t.Error("Attr(missing) should not be found")
 	}
 }
+
+func TestHash64Structural(t *testing.T) {
+	mk := func() *Node {
+		n := Element("product", Element("price", Text("10")))
+		n.WithAttr("id", "p1")
+		return n
+	}
+	a, b := mk(), mk()
+	b.XID = 999 // XIDs must not affect the fingerprint, mirroring XML()
+	if a.Hash64(HashSeed()) != b.Hash64(HashSeed()) {
+		t.Error("equal subtrees hash differently")
+	}
+	for name, mut := range map[string]func(*Node){
+		"tag":        func(n *Node) { n.Tag = "item" },
+		"attr name":  func(n *Node) { n.Attrs[0].Name = "ref" },
+		"attr value": func(n *Node) { n.Attrs[0].Value = "p2" },
+		"text":       func(n *Node) { n.Children[0].Children[0].Text = "11" },
+		"add child":  func(n *Node) { n.AppendChild(Element("stock")) },
+		"drop child": func(n *Node) { n.RemoveChild(0) },
+	} {
+		c := mk()
+		mut(c)
+		if c.Hash64(HashSeed()) == a.Hash64(HashSeed()) {
+			t.Errorf("%s mutation did not change the hash", name)
+		}
+	}
+	// Structure matters, not just the token stream: <a><b/></a><c/> vs
+	// <a><b/><c/></a> reparented.
+	flat := Element("r", Element("a", Element("b")), Element("c"))
+	nested := Element("r", Element("a", Element("b"), Element("c")))
+	if flat.Hash64(HashSeed()) == nested.Hash64(HashSeed()) {
+		t.Error("reparenting did not change the hash")
+	}
+}
+
+func TestHashFoldFieldBoundaries(t *testing.T) {
+	h1 := HashFold(HashFold(HashSeed(), "ab"), "c")
+	h2 := HashFold(HashFold(HashSeed(), "a"), "bc")
+	if h1 == h2 {
+		t.Error("field boundary not encoded: (ab,c) == (a,bc)")
+	}
+}
