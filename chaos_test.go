@@ -1,0 +1,205 @@
+package xymon
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xymon/internal/cluster"
+	"xymon/internal/core"
+	"xymon/internal/faults"
+	"xymon/internal/reporter"
+)
+
+// TestChaosPipeline runs the full acquisition→delivery chain under a
+// seeded fault storm — failing fetches, failing warehouse commits,
+// failing report deliveries — then heals the faults and requires the
+// system to converge: every page committed, every fired report either
+// delivered or parked on the dead-letter queue with its reason, nothing
+// stuck in a retry queue, nothing silently lost.
+func TestChaosPipeline(t *testing.T) {
+	c := &testClock{t: time.Date(2001, 5, 21, 0, 0, 0, 0, time.UTC)}
+	in := faults.New(99)
+	sink := reporter.NewEmailSink(0, true, c.now)
+	sys, err := New(Options{Clock: c.now, Delivery: faults.WrapDelivery(sink, in)})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := sys.Subscribe(`subscription Chaos
+monitoring
+select <Changed url=URL/>
+where URL extends "http://chaos.example/" and modified self
+report when immediate`); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	site := NewSite(SiteSpec{
+		BaseURL: "http://chaos.example", Pages: 6, Products: 8, Churn: 3,
+		Seed: 777, Domain: "shopping",
+	})
+	sys.AddSite(site)
+	sys.Crawler.Faults = in
+
+	in.Enable(faults.Rule{Point: faults.PointFetch, Mode: faults.ModeError, Prob: 0.4})
+	in.Enable(faults.Rule{Point: faults.PointCommit, Mode: faults.ModeError, Prob: 0.3})
+	in.Enable(faults.Rule{Point: faults.PointDelivery, Mode: faults.ModeError, Prob: 0.5})
+
+	// Ten simulated days of chaos.
+	for i := 0; i < 40; i++ {
+		sys.Crawl()
+		sys.Tick()
+		c.advance(6 * time.Hour)
+	}
+	st := sys.Stats()
+	if st.Crawler.FetchErrors == 0 || st.Crawler.CommitErrors == 0 || st.Crawler.Retries == 0 {
+		t.Fatalf("fault storm did not bite: crawler stats = %+v", st.Crawler)
+	}
+	if _, failed := sys.Reporter.Stats(); failed == 0 {
+		t.Fatal("fault storm did not bite: no delivery ever failed")
+	}
+
+	// Heal and drain: three more simulated weeks cover the 7-day refresh
+	// period, every crawl backoff, and every delivery retry backoff.
+	in.Clear()
+	for i := 0; i < 84; i++ {
+		sys.Crawl()
+		sys.Tick()
+		c.advance(6 * time.Hour)
+	}
+
+	wantPages := len(site.XMLURLs()) + len(site.HTMLURLs())
+	if sys.Store.Len() != wantPages {
+		t.Errorf("warehouse has %d pages after healing, want %d", sys.Store.Len(), wantPages)
+	}
+	for _, url := range site.XMLURLs() {
+		if f := sys.Crawler.Fails(url); f != 0 {
+			t.Errorf("%s still failing after heal: %d consecutive fails", url, f)
+		}
+	}
+
+	// Delivery conservation: everything the reporter fired is accounted
+	// for — accepted by the sink or dead-lettered with its reason.
+	delivered, _ := sys.Reporter.Stats()
+	retried, deadLettered := sys.Reporter.RetryStats()
+	if retried == 0 {
+		t.Error("no delivery was ever retried under a 50% failure rate")
+	}
+	if pending := sys.Reporter.RetryPending(); pending != 0 {
+		t.Errorf("%d reports stuck in the retry queue after healing", pending)
+	}
+	total, rejected := sink.Counts()
+	if rejected != 0 {
+		t.Errorf("unlimited sink rejected %d", rejected)
+	}
+	if delivered != total {
+		t.Errorf("reporter counted %d delivered, sink accepted %d", delivered, total)
+	}
+	dead := sys.Reporter.DeadLetters()
+	if uint64(len(dead)) != deadLettered {
+		t.Errorf("DeadLetters has %d entries, counter says %d", len(dead), deadLettered)
+	}
+	for _, dl := range dead {
+		if dl.Reason == "" || !strings.Contains(dl.Reason, "injected") {
+			t.Errorf("dead letter without a usable reason: %+v", dl)
+		}
+		if dl.Attempts == 0 {
+			t.Errorf("dead letter with zero attempts: %+v", dl)
+		}
+	}
+	if total == 0 {
+		t.Fatal("nothing was ever delivered")
+	}
+}
+
+// TestChaosClusterDegradation wires a two-block cluster client through
+// the fault injector's dialer, poisons one block, and requires every
+// match to return promptly with the surviving block's results flagged
+// Degraded — then heals the fault and requires a probe to restore full,
+// reference-equal results.
+func TestChaosClusterDegradation(t *testing.T) {
+	a, b, reference := core.NewMatcher(), core.NewMatcher(), core.NewMatcher()
+	for _, m := range []*core.Matcher{a, reference} {
+		if err := m.Add(0, []core.Event{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range []*core.Matcher{b, reference} {
+		if err := m.Add(1, []core.Event{2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srvA, err := cluster.Serve("127.0.0.1:0", core.Freeze(a))
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srvA.Close()
+	srvB, err := cluster.Serve("127.0.0.1:0", core.Freeze(b))
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srvB.Close()
+
+	in := faults.New(7)
+	client, err := cluster.DialWith([]cluster.ClientOption{
+		cluster.WithDialer(faults.Dialer(in, faults.PointConn, time.Second)),
+		cluster.WithTimeouts(time.Second, 500*time.Millisecond),
+		cluster.WithRetries(1),
+		cluster.WithDownCooldown(50*time.Millisecond, 200*time.Millisecond),
+	}, srvA.Addr(), srvB.Addr())
+	if err != nil {
+		t.Fatalf("DialWith: %v", err)
+	}
+	defer client.Close()
+
+	set := core.Canonical([]core.Event{1, 2})
+	want := reference.Match(set)
+	res, err := client.MatchResult(set)
+	if err != nil || res.Degraded || len(res.IDs) != len(want) {
+		t.Fatalf("healthy MatchResult = %+v, %v (want %d ids)", res, err, len(want))
+	}
+
+	// Poison block B: its live conn breaks on next use, and re-dials to
+	// it fail at the injector before touching the network.
+	in.Enable(faults.Rule{Point: faults.PointConn, Mode: faults.ModeError, Match: srvB.Addr()})
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		res, err = client.MatchResult(set)
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("match %d took %v with a block down — degradation must be prompt", i, elapsed)
+		}
+		if err != nil {
+			t.Fatalf("match %d with block B down errored: %v", i, err)
+		}
+		if !res.Degraded || len(res.Down) != 1 || res.Down[0] != srvB.Addr() {
+			t.Fatalf("match %d = %+v, want Degraded with B down", i, res)
+		}
+		if len(res.IDs) != 1 || res.IDs[0] != 0 {
+			t.Fatalf("match %d partial IDs = %v, want block A's [0]", i, res.IDs)
+		}
+	}
+	if st := client.Stats(); st.Degraded == 0 || st.BlockFailures == 0 {
+		t.Errorf("client stats = %+v, want degradations and block failures", st)
+	}
+
+	// Heal and probe the block back in: results return to reference.
+	in.ClearPoint(faults.PointConn)
+	deadline := time.Now().Add(5 * time.Second)
+	for client.Probe() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("Probe never restored block B")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	res, err = client.MatchResult(set)
+	if err != nil || res.Degraded {
+		t.Fatalf("post-heal MatchResult = %+v, %v", res, err)
+	}
+	got := map[core.ComplexID]bool{}
+	for _, id := range res.IDs {
+		got[id] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("post-heal results missing %d: %v vs reference %v", id, res.IDs, want)
+		}
+	}
+}

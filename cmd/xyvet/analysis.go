@@ -45,6 +45,11 @@ var analyzers = []*Analyzer{
 		Run:  runNondeterm,
 	},
 	{
+		Name: "connguard",
+		Doc:  "net.Conn Read/Write reachable with no deadline set earlier in the function; a silent peer blocks them forever",
+		Run:  runConnguard,
+	},
+	{
 		Name: "printcheck",
 		Doc:  "fmt.Print*/log output in library packages; output must flow through the reporter",
 		Run:  runPrintcheck,

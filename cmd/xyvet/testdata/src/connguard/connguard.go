@@ -1,0 +1,70 @@
+// Package connguard is the fixture for the connguard analyzer: direct
+// net.Conn Read/Write calls must be preceded by a deadline call in the
+// same function; conn-wrapper methods are exempt.
+package connguard
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+func unguardedRead(c net.Conn) ([]byte, error) {
+	buf := make([]byte, 64)
+	_, err := c.Read(buf) // want connguard
+	return buf, err
+}
+
+func unguardedWrite(c *net.TCPConn) error {
+	_, err := c.Write([]byte("x")) // want connguard
+	return err
+}
+
+func guardedWrite(c net.Conn) error {
+	if err := c.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := c.Write([]byte("x")) // guarded: deadline set above
+	return err
+}
+
+func guardedRead(c net.Conn) ([]byte, error) {
+	if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64)
+	_, err := c.Read(buf) // guarded: read deadline set above
+	return buf, err
+}
+
+func deadlineAfterRead(c net.Conn) error {
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != nil { // want connguard
+		return err
+	}
+	return c.SetDeadline(time.Time{}) // too late for the read above
+}
+
+func notAConn(w io.Writer) error {
+	_, err := w.Write([]byte("x")) // io.Writer is not a conn
+	return err
+}
+
+// meteredConn forwards to an embedded conn; its methods inherit whatever
+// deadline the caller set on the wrapper, so they are exempt.
+type meteredConn struct {
+	net.Conn
+	n int
+}
+
+func (m *meteredConn) Read(p []byte) (int, error) {
+	n, err := m.Conn.Read(p) // exempt: receiver carries SetDeadline
+	m.n += n
+	return n, err
+}
+
+func (m *meteredConn) Write(p []byte) (int, error) {
+	n, err := m.Conn.Write(p) // exempt: receiver carries SetDeadline
+	m.n += n
+	return n, err
+}

@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xymon/internal/core"
+)
+
+// ErrBlockDown reports a block skipped because it exhausted its retry
+// budget recently and is sitting out its down-cooldown window.
+var ErrBlockDown = errors.New("cluster: block down")
+
+// RemoteError is an error frame answered by a block server: the transport
+// worked, the request did not. Remote errors are not retried — resending
+// the same malformed request would fail the same way.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "cluster: remote: " + e.Msg }
+
+// clientConfig is the tunable robustness envelope of a Client.
+type clientConfig struct {
+	dialer      func(addr string) (net.Conn, error)
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+	retries     int // reconnect-and-resend attempts per block per match
+	downBase    time.Duration
+	downMax     time.Duration
+	clock       func() time.Time
+}
+
+// ClientOption configures DialWith.
+type ClientOption func(*clientConfig)
+
+// WithDialer substitutes the connection factory — fault-injection tests
+// wrap every produced conn; production could add TLS.
+func WithDialer(dial func(addr string) (net.Conn, error)) ClientOption {
+	return func(c *clientConfig) { c.dialer = dial }
+}
+
+// WithTimeouts bounds connection establishment and each request/response
+// exchange. A zero keeps the default (2s dial, 5s I/O). Deadlines are what
+// turn a hung peer from "every document stalls forever" into an error the
+// retry path can act on.
+func WithTimeouts(dial, io time.Duration) ClientOption {
+	return func(c *clientConfig) {
+		if dial > 0 {
+			c.dialTimeout = dial
+		}
+		if io > 0 {
+			c.ioTimeout = io
+		}
+	}
+}
+
+// WithRetries sets how many times one Match reconnects and resends to a
+// failing block before giving up on it (default 2).
+func WithRetries(n int) ClientOption {
+	return func(c *clientConfig) { c.retries = n }
+}
+
+// WithDownCooldown bounds the exponential cooldown a block sits out after
+// exhausting its retry budget: base·2ⁿ⁻¹ capped at max (defaults 1s/30s).
+// While cooling down the block is skipped instantly; the first Match after
+// the window doubles as the health probe.
+func WithDownCooldown(base, max time.Duration) ClientOption {
+	return func(c *clientConfig) {
+		if base > 0 {
+			c.downBase = base
+		}
+		if max > 0 {
+			c.downMax = max
+		}
+	}
+}
+
+// WithClientClock substitutes the time source of the down-cooldown
+// bookkeeping (the I/O deadlines always run on the real clock — the
+// kernel knows no virtual time).
+func WithClientClock(clock func() time.Time) ClientOption {
+	return func(c *clientConfig) { c.clock = clock }
+}
+
+// ClientStats counts the client's robustness activity.
+type ClientStats struct {
+	// Retries counts reconnect-and-resend attempts after a transport
+	// error mid-match.
+	Retries uint64
+	// Reconnects counts successful re-dials of a lost block connection.
+	Reconnects uint64
+	// Degraded counts matches that returned partial results because at
+	// least one block was unavailable.
+	Degraded uint64
+	// BlockFailures counts block give-ups (retry budget exhausted or
+	// dial failure), each starting a down-cooldown window.
+	BlockFailures uint64
+}
+
+// Result is the outcome of one fan-out match.
+type Result struct {
+	IDs []core.ComplexID
+	// Degraded is set when at least one block contributed no answer: the
+	// IDs are the matches of the blocks that responded. The document is
+	// not lost — the paper's Monitoring Query Processor would rather
+	// under-notify the partitions of a dead node than stall the whole
+	// stream (Section 4.2's distribution exists to keep throughput up).
+	Degraded bool
+	// Down lists the addresses of the blocks that did not answer.
+	Down []string
+}
+
+// Client holds connections to every block server and matches against all
+// of them, surviving block failures with bounded retries, reconnection
+// backoff and degraded partial results.
+type Client struct {
+	mu    sync.Mutex
+	conns []*blockConn
+	cfg   clientConfig
+
+	retries       atomic.Uint64
+	reconnects    atomic.Uint64
+	degraded      atomic.Uint64
+	blockFailures atomic.Uint64
+}
+
+type blockConn struct {
+	mu   sync.Mutex
+	addr string
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	// downFails counts consecutive give-ups; downUntil is the end of the
+	// current cooldown window.
+	downFails int
+	downUntil time.Time
+}
+
+// Dial connects to every block address with default robustness settings.
+func Dial(addrs ...string) (*Client, error) {
+	return DialWith(nil, addrs...)
+}
+
+// DialWith connects to every block address. Every address must be
+// reachable at dial time — a cluster that starts degraded is a
+// configuration error; degradation is for blocks that die later.
+func DialWith(opts []ClientOption, addrs ...string) (*Client, error) {
+	cfg := clientConfig{
+		dialTimeout: 2 * time.Second,
+		ioTimeout:   5 * time.Second,
+		retries:     2,
+		downBase:    time.Second,
+		downMax:     30 * time.Second,
+		clock:       time.Now,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.dialer == nil {
+		dialTimeout := cfg.dialTimeout
+		cfg.dialer = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, dialTimeout)
+		}
+	}
+	c := &Client{cfg: cfg}
+	for _, addr := range addrs {
+		conn, err := cfg.dialer(addr)
+		if err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		bc := &blockConn{addr: addr}
+		bc.attachLocked(conn)
+		c.conns = append(c.conns, bc)
+	}
+	return c, nil
+}
+
+// Close closes every block connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, bc := range c.conns {
+		bc.mu.Lock()
+		if bc.conn != nil {
+			if err := bc.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+			bc.conn = nil
+		}
+		bc.mu.Unlock()
+	}
+	c.conns = nil
+	return first
+}
+
+// Match fans the canonical event set out to every block concurrently and
+// returns the merged complex-event ids. When some (but not all) blocks
+// are unavailable it returns the partial merge with a nil error — use
+// MatchResult to observe the Degraded flag.
+func (c *Client) Match(s core.EventSet) ([]core.ComplexID, error) {
+	res, err := c.MatchResult(s)
+	return res.IDs, err
+}
+
+// MatchResult fans the event set out to every block and reports exactly
+// what happened: full results, a degraded partial merge (some blocks
+// down), or an error (every block failed — there is nothing to degrade
+// to).
+func (c *Client) MatchResult(s core.EventSet) (Result, error) {
+	c.mu.Lock()
+	conns := append([]*blockConn(nil), c.conns...)
+	c.mu.Unlock()
+	if len(conns) == 0 {
+		return Result{}, errors.New("cluster: client is closed")
+	}
+	results := make([][]core.ComplexID, len(conns))
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for i, bc := range conns {
+		wg.Add(1)
+		go func(i int, bc *blockConn) {
+			defer wg.Done()
+			results[i], errs[i] = bc.match(s, c)
+		}(i, bc)
+	}
+	wg.Wait()
+	var res Result
+	var firstErr error
+	for i := range conns {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			res.Down = append(res.Down, conns[i].addr)
+			continue
+		}
+		res.IDs = append(res.IDs, results[i]...)
+	}
+	if len(res.Down) == len(conns) {
+		return Result{}, firstErr
+	}
+	if len(res.Down) > 0 {
+		res.Degraded = true
+		c.degraded.Add(1)
+	}
+	return res, nil
+}
+
+// Probe attempts to reconnect every down block immediately, ignoring the
+// cooldown window — the explicit health probe for operators and tests —
+// and returns how many blocks are up afterwards.
+func (c *Client) Probe() int {
+	c.mu.Lock()
+	conns := append([]*blockConn(nil), c.conns...)
+	c.mu.Unlock()
+	up := 0
+	for _, bc := range conns {
+		bc.mu.Lock()
+		if bc.conn == nil {
+			// The dialer is a config-owned leaf (net.DialTimeout or a test
+			// wrapper); it never calls back into the client, and holding
+			// bc.mu serialises the probe with in-flight matches.
+			//xyvet:ignore lockcheck
+			if conn, err := c.cfg.dialer(bc.addr); err == nil {
+				bc.attachLocked(conn)
+				bc.downFails = 0
+				bc.downUntil = time.Time{}
+				c.reconnects.Add(1)
+			}
+		}
+		if bc.conn != nil {
+			up++
+		}
+		bc.mu.Unlock()
+	}
+	return up
+}
+
+// BlockHealth is one block's liveness snapshot.
+type BlockHealth struct {
+	Addr      string
+	Up        bool
+	Fails     int       // consecutive give-ups
+	DownUntil time.Time // end of the current cooldown (zero when up)
+}
+
+// Health snapshots every block's liveness.
+func (c *Client) Health() []BlockHealth {
+	c.mu.Lock()
+	conns := append([]*blockConn(nil), c.conns...)
+	c.mu.Unlock()
+	out := make([]BlockHealth, 0, len(conns))
+	for _, bc := range conns {
+		bc.mu.Lock()
+		out = append(out, BlockHealth{
+			Addr: bc.addr, Up: bc.conn != nil,
+			Fails: bc.downFails, DownUntil: bc.downUntil,
+		})
+		bc.mu.Unlock()
+	}
+	return out
+}
+
+// Stats snapshots the robustness counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Retries:       c.retries.Load(),
+		Reconnects:    c.reconnects.Load(),
+		Degraded:      c.degraded.Load(),
+		BlockFailures: c.blockFailures.Load(),
+	}
+}
+
+// attachLocked adopts a fresh connection (bc.mu held, or bc not shared yet).
+func (bc *blockConn) attachLocked(conn net.Conn) {
+	bc.conn = conn
+	bc.r = bufio.NewReader(conn)
+	bc.w = bufio.NewWriter(conn)
+}
+
+// teardownLocked drops a broken connection.
+func (bc *blockConn) teardownLocked() {
+	if bc.conn != nil {
+		_ = bc.conn.Close()
+		bc.conn = nil
+		bc.r, bc.w = nil, nil
+	}
+}
+
+// markDownLocked starts (or extends) the down-cooldown window after a
+// give-up: base·2ⁿ⁻¹ capped at max.
+func (bc *blockConn) markDownLocked(c *Client) {
+	bc.downFails++
+	d := c.cfg.downBase
+	for i := 1; i < bc.downFails && d < c.cfg.downMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.downMax {
+		d = c.cfg.downMax
+	}
+	// The clock is time.Now or a test stub reading a local variable; it
+	// never blocks or re-enters.
+	//xyvet:ignore lockcheck
+	bc.downUntil = c.cfg.clock().Add(d)
+	c.blockFailures.Add(1)
+}
+
+// match runs one request against one block with the full robustness
+// envelope: skip-while-down, reconnect, deadline-bounded exchange, and a
+// bounded number of retries before the block is marked down.
+func (bc *blockConn) match(s core.EventSet, c *Client) ([]core.ComplexID, error) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	events := make([]uint32, len(s))
+	for i, e := range s {
+		events[i] = uint32(e)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.retries; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		if bc.conn == nil {
+			// Clock and dialer are config-owned leaves (see Probe); the
+			// dial must hold bc.mu so concurrent matches on the same block
+			// do not race to reconnect.
+			//xyvet:ignore lockcheck
+			if c.cfg.clock().Before(bc.downUntil) {
+				return nil, fmt.Errorf("%w: %s until %s", ErrBlockDown, bc.addr, bc.downUntil.Format(time.RFC3339))
+			}
+			//xyvet:ignore lockcheck
+			conn, err := c.cfg.dialer(bc.addr)
+			if err != nil {
+				lastErr = err
+				bc.markDownLocked(c)
+				return nil, err
+			}
+			bc.attachLocked(conn)
+			c.reconnects.Add(1)
+		}
+		ids, err := bc.exchangeLocked(events, c.cfg.ioTimeout)
+		if err == nil {
+			bc.downFails = 0
+			bc.downUntil = time.Time{}
+			out := make([]core.ComplexID, len(ids))
+			for i, id := range ids {
+				out[i] = core.ComplexID(id)
+			}
+			return out, nil
+		}
+		lastErr = err
+		bc.teardownLocked()
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			// The block is alive and answered; retrying the same request
+			// buys nothing and the block is not "down".
+			return nil, err
+		}
+	}
+	bc.markDownLocked(c)
+	return nil, lastErr
+}
+
+// exchangeLocked performs one deadline-bounded request/response. Every
+// Read and Write on the conn happens inside the deadline set here — the
+// connguard analyzer's contract.
+func (bc *blockConn) exchangeLocked(events []uint32, ioTimeout time.Duration) ([]uint32, error) {
+	if ioTimeout > 0 {
+		if err := bc.conn.SetDeadline(time.Now().Add(ioTimeout)); err != nil {
+			return nil, err
+		}
+	}
+	if err := writeFrame(bc.w, 'M', events); err != nil {
+		return nil, err
+	}
+	if err := bc.w.Flush(); err != nil {
+		return nil, err
+	}
+	return readSetRaw(bc.r, 'R')
+}

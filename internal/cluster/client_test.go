@@ -1,0 +1,307 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"xymon/internal/core"
+)
+
+// twoBlocks builds a two-block cluster with known partitions: block A
+// holds complex 0 ← {1}, block B holds complex 1 ← {2}. It returns both
+// servers so tests can kill and resurrect them individually.
+func twoBlocks(t *testing.T) (srvA, srvB *Server) {
+	t.Helper()
+	a, b := core.NewMatcher(), core.NewMatcher()
+	if err := a.Add(0, []core.Event{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(1, []core.Event{2}); err != nil {
+		t.Fatal(err)
+	}
+	srvA, err := Serve("127.0.0.1:0", core.Freeze(a))
+	if err != nil {
+		t.Fatalf("Serve A: %v", err)
+	}
+	t.Cleanup(func() { srvA.Close() })
+	srvB, err = Serve("127.0.0.1:0", core.Freeze(b))
+	if err != nil {
+		t.Fatalf("Serve B: %v", err)
+	}
+	t.Cleanup(func() { srvB.Close() })
+	return srvA, srvB
+}
+
+// restartBlock brings a block back up on the address it previously held.
+func restartBlock(t *testing.T, addr string, id core.ComplexID, events []core.Event) *Server {
+	t.Helper()
+	m := core.NewMatcher()
+	if err := m.Add(id, events); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(addr, core.Freeze(m))
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestDegradedPartialResults kills one of two blocks and checks the
+// client keeps answering with the surviving block's matches, flagged
+// Degraded, instead of failing the whole document.
+func TestDegradedPartialResults(t *testing.T) {
+	srvA, srvB := twoBlocks(t)
+	client, err := DialWith([]ClientOption{
+		WithTimeouts(time.Second, time.Second),
+		WithRetries(1),
+		WithDownCooldown(10*time.Millisecond, 50*time.Millisecond),
+	}, srvA.Addr(), srvB.Addr())
+	if err != nil {
+		t.Fatalf("DialWith: %v", err)
+	}
+	defer client.Close()
+
+	set := core.Canonical([]core.Event{1, 2})
+	res, err := client.MatchResult(set)
+	if err != nil || res.Degraded || len(res.IDs) != 2 {
+		t.Fatalf("healthy MatchResult = %+v, %v", res, err)
+	}
+
+	addrB := srvB.Addr()
+	srvB.Close()
+	res, err = client.MatchResult(set)
+	if err != nil {
+		t.Fatalf("degraded MatchResult errored: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("one block down: result not flagged Degraded")
+	}
+	if len(res.Down) != 1 || res.Down[0] != addrB {
+		t.Errorf("Down = %v, want [%s]", res.Down, addrB)
+	}
+	if len(res.IDs) != 1 || res.IDs[0] != 0 {
+		t.Errorf("partial IDs = %v, want the surviving block's [0]", res.IDs)
+	}
+	if st := client.Stats(); st.Degraded == 0 || st.BlockFailures == 0 {
+		t.Errorf("stats = %+v, want degraded and block-failure counts", st)
+	}
+
+	// Resurrect block B; Probe reconnects it immediately (no cooldown
+	// wait) and full results come back.
+	restartBlock(t, addrB, 1, []core.Event{2})
+	deadline := time.Now().Add(5 * time.Second)
+	for client.Probe() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("Probe never brought block B back")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	res, err = client.MatchResult(set)
+	if err != nil || res.Degraded || len(res.IDs) != 2 {
+		t.Fatalf("post-recovery MatchResult = %+v, %v", res, err)
+	}
+	if st := client.Stats(); st.Reconnects == 0 {
+		t.Errorf("stats = %+v, want a reconnect recorded", st)
+	}
+}
+
+// TestAllBlocksDownErrors pins the no-degradation boundary: when every
+// block is unreachable there is nothing to degrade to, so Match errors
+// (it must not silently return zero matches).
+func TestAllBlocksDownErrors(t *testing.T) {
+	srvA, srvB := twoBlocks(t)
+	client, err := DialWith([]ClientOption{
+		WithRetries(0),
+		WithDownCooldown(time.Minute, time.Minute),
+	}, srvA.Addr(), srvB.Addr())
+	if err != nil {
+		t.Fatalf("DialWith: %v", err)
+	}
+	defer client.Close()
+	srvA.Close()
+	srvB.Close()
+	if _, err := client.Match(core.EventSet{1, 2}); err == nil {
+		t.Fatal("Match with every block down returned nil error")
+	}
+}
+
+// TestDownCooldownSkipsAndRecovers checks the cooldown bookkeeping on a
+// virtual clock: a failed block is skipped instantly while cooling down,
+// and the first match after the window re-dials it.
+func TestDownCooldownSkipsAndRecovers(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time { return now }
+	srvA, srvB := twoBlocks(t)
+	client, err := DialWith([]ClientOption{
+		WithRetries(0),
+		WithDownCooldown(time.Minute, time.Hour),
+		WithClientClock(clock),
+	}, srvA.Addr(), srvB.Addr())
+	if err != nil {
+		t.Fatalf("DialWith: %v", err)
+	}
+	defer client.Close()
+
+	addrB := srvB.Addr()
+	srvB.Close()
+	set := core.Canonical([]core.Event{1, 2})
+	if res, err := client.MatchResult(set); err != nil || !res.Degraded {
+		t.Fatalf("first MatchResult = %+v, %v", res, err)
+	}
+	var down *BlockHealth
+	for _, h := range client.Health() {
+		if h.Addr == addrB {
+			h := h
+			down = &h
+		}
+	}
+	if down == nil || down.Up || down.Fails == 0 || !down.DownUntil.After(now) {
+		t.Fatalf("block B health = %+v, want down with a cooldown window", down)
+	}
+
+	// Inside the cooldown the block is skipped without dialing: even with
+	// the server back up, the result stays degraded.
+	restartBlock(t, addrB, 1, []core.Event{2})
+	if res, err := client.MatchResult(set); err != nil || !res.Degraded {
+		t.Fatalf("in-cooldown MatchResult = %+v, %v", res, err)
+	}
+
+	// Past the window the next match doubles as the health probe.
+	now = now.Add(2 * time.Minute)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := client.MatchResult(set)
+		if err == nil && !res.Degraded && len(res.IDs) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("block B never probed back in: %+v, %v", res, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, h := range client.Health() {
+		if h.Addr == addrB && (!h.Up || h.Fails != 0) {
+			t.Errorf("recovered block health = %+v", h)
+		}
+	}
+}
+
+// TestMatchNeverHangsOnSilentPeer points the client at a peer that
+// accepts connections and then says nothing: the I/O deadline must turn
+// the hang into a bounded failure.
+func TestMatchNeverHangsOnSilentPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold it open, never respond
+		}
+	}()
+	client, err := DialWith([]ClientOption{
+		WithTimeouts(time.Second, 200*time.Millisecond),
+		WithRetries(0),
+	}, ln.Addr().String())
+	if err != nil {
+		t.Fatalf("DialWith: %v", err)
+	}
+	defer client.Close()
+	start := time.Now()
+	if _, err := client.Match(core.EventSet{1}); err == nil {
+		t.Fatal("Match against a silent peer returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("Match took %v, want deadline-bounded (~200ms)", elapsed)
+	}
+}
+
+// TestRemoteErrorNotRetried pins that an error frame from a live block is
+// surfaced directly: the transport worked, so retrying or marking the
+// block down would be wrong.
+func TestRemoteErrorNotRetried(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 256)
+				if _, err := c.Read(buf); err != nil {
+					return
+				}
+				msg := []byte("bad request")
+				c.Write([]byte{'E', byte(len(msg)), 0, 0, 0})
+				c.Write(msg)
+			}(conn)
+		}
+	}()
+	client, err := DialWith([]ClientOption{WithRetries(3)}, ln.Addr().String())
+	if err != nil {
+		t.Fatalf("DialWith: %v", err)
+	}
+	defer client.Close()
+	_, err = client.Match(core.EventSet{1})
+	var remote *RemoteError
+	if !errors.As(err, &remote) || remote.Msg != "bad request" {
+		t.Fatalf("Match = %v, want RemoteError(bad request)", err)
+	}
+	if st := client.Stats(); st.Retries != 0 {
+		t.Errorf("remote error consumed %d retries, want 0", st.Retries)
+	}
+}
+
+// TestServerSurvivesAbruptDisconnect tears a client away mid-frame and
+// checks the server keeps serving fresh connections.
+func TestServerSurvivesAbruptDisconnect(t *testing.T) {
+	m := core.NewMatcher()
+	if err := m.Add(7, []core.Event{3}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", core.Freeze(m))
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+
+	// Announce a 4-event frame, send half of one event, vanish.
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	raw.Write([]byte{'M', 4, 0, 0, 0, 0xAA, 0xBB})
+	raw.Close()
+
+	// And another that disconnects before even finishing the header.
+	raw2, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	raw2.Write([]byte{'M', 1})
+	raw2.Close()
+
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial after abrupt disconnects: %v", err)
+	}
+	defer client.Close()
+	ids, err := client.Match(core.EventSet{3})
+	if err != nil || len(ids) != 1 || ids[0] != 7 {
+		t.Fatalf("Match after abrupt disconnects = %v, %v", ids, err)
+	}
+}

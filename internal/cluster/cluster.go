@@ -40,6 +40,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
 }
 
 // Serve starts a server for the block on the given address ("127.0.0.1:0"
@@ -50,7 +51,7 @@ func Serve(addr string, block *core.Compact) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	s := &Server{matcher: block, ln: ln}
+	s := &Server{matcher: block, ln: ln, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -59,10 +60,15 @@ func Serve(addr string, block *core.Compact) (*Server, error) {
 // Addr returns the listener's address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and waits for the accept loop.
+// Close stops the listener, severs every active connection (a handler
+// blocked on a client that never speaks again must not wedge shutdown),
+// and waits for all handlers to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
@@ -82,6 +88,14 @@ func (s *Server) acceptLoop() {
 			}
 			continue
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -91,7 +105,12 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
@@ -115,106 +134,6 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
-}
-
-// Client holds connections to every block server and matches against all
-// of them.
-type Client struct {
-	mu    sync.Mutex
-	conns []*blockConn
-}
-
-type blockConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-}
-
-// Dial connects to every block address.
-func Dial(addrs ...string) (*Client, error) {
-	c := &Client{}
-	for _, addr := range addrs {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			_ = c.Close()
-			return nil, fmt.Errorf("cluster: %w", err)
-		}
-		c.conns = append(c.conns, &blockConn{
-			conn: conn,
-			r:    bufio.NewReader(conn),
-			w:    bufio.NewWriter(conn),
-		})
-	}
-	return c, nil
-}
-
-// Close closes every block connection.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var first error
-	for _, bc := range c.conns {
-		if err := bc.conn.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	c.conns = nil
-	return first
-}
-
-// Match fans the canonical event set out to every block concurrently and
-// returns the merged complex-event ids.
-func (c *Client) Match(s core.EventSet) ([]core.ComplexID, error) {
-	c.mu.Lock()
-	conns := append([]*blockConn(nil), c.conns...)
-	c.mu.Unlock()
-	if len(conns) == 0 {
-		return nil, errors.New("cluster: client is closed")
-	}
-	results := make([][]core.ComplexID, len(conns))
-	errs := make([]error, len(conns))
-	var wg sync.WaitGroup
-	for i, bc := range conns {
-		wg.Add(1)
-		go func(i int, bc *blockConn) {
-			defer wg.Done()
-			results[i], errs[i] = bc.match(s)
-		}(i, bc)
-	}
-	wg.Wait()
-	var out []core.ComplexID
-	for i := range conns {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		out = append(out, results[i]...)
-	}
-	return out, nil
-}
-
-func (bc *blockConn) match(s core.EventSet) ([]core.ComplexID, error) {
-	bc.mu.Lock()
-	defer bc.mu.Unlock()
-	events := make([]uint32, len(s))
-	for i, e := range s {
-		events[i] = uint32(e)
-	}
-	if err := writeFrame(bc.w, 'M', events); err != nil {
-		return nil, err
-	}
-	if err := bc.w.Flush(); err != nil {
-		return nil, err
-	}
-	ids, err := readSetRaw(bc.r, 'R')
-	if err != nil {
-		return nil, err
-	}
-	out := make([]core.ComplexID, len(ids))
-	for i, id := range ids {
-		out[i] = core.ComplexID(id)
-	}
-	return out, nil
 }
 
 func writeFrame(w io.Writer, kind byte, values []uint32) error {
@@ -263,7 +182,7 @@ func readSetRaw(r io.Reader, kind byte) ([]uint32, error) {
 		if _, err := io.ReadFull(r, msg); err != nil {
 			return nil, fmt.Errorf("%w: truncated error frame", ErrProtocol)
 		}
-		return nil, fmt.Errorf("cluster: remote: %s", msg)
+		return nil, &RemoteError{Msg: string(msg)}
 	}
 	if k[0] != kind {
 		return nil, fmt.Errorf("%w: expected frame %q, got %q", ErrProtocol, kind, k[0])

@@ -8,11 +8,13 @@
 package crawler
 
 import (
+	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
 
 	"xymon/internal/alerter"
+	"xymon/internal/faults"
 	"xymon/internal/sublang"
 	"xymon/internal/warehouse"
 	"xymon/internal/webgen"
@@ -32,6 +34,18 @@ type Stats struct {
 	// Discovered counts pages found by following links rather than being
 	// registered up front.
 	Discovered uint64
+	// FetchErrors and CommitErrors count failed page fetches and failed
+	// warehouse commits; each one schedules a retry (counted in Retries)
+	// with capped exponential backoff.
+	FetchErrors  uint64
+	CommitErrors uint64
+	Retries      uint64
+	// Deferred counts due pages skipped because their site's circuit
+	// breaker was open.
+	Deferred uint64
+	// BreakerOpens / BreakerCloses count circuit-breaker transitions.
+	BreakerOpens  uint64
+	BreakerCloses uint64
 }
 
 type pageState struct {
@@ -44,17 +58,33 @@ type pageState struct {
 	// changeEvery is how often the remote page advances a version.
 	changeEvery time.Duration
 	birth       time.Time
+	// fails counts consecutive fetch/commit failures; it drives the
+	// exponential retry backoff and resets on the first success.
+	fails int
+}
+
+// siteBreaker is the per-site circuit breaker (Section 2.1's acquisition
+// module faces whole sites going unreachable, not single pages): after
+// BreakerThreshold consecutive failures anywhere on a site, every due page
+// of that site is deferred until the cooldown passes; then a single page
+// is let through as a probe (half-open), and its outcome closes or
+// re-opens the breaker.
+type siteBreaker struct {
+	fails     int
+	open      bool
+	openUntil time.Time
 }
 
 // Crawler drives the fetch loop over a virtual clock.
 type Crawler struct {
-	mu    sync.Mutex
-	store *warehouse.Store
-	sink  Sink
-	clock func() time.Time
-	pages map[string]*pageState
-	sites []*webgen.Site
-	stats Stats
+	mu       sync.Mutex
+	store    *warehouse.Store
+	sink     Sink
+	clock    func() time.Time
+	pages    map[string]*pageState
+	sites    []*webgen.Site
+	breakers map[string]*siteBreaker // by site base URL
+	stats    Stats
 
 	// DefaultPeriod is the refresh period of pages with no hints.
 	DefaultPeriod time.Duration
@@ -68,6 +98,25 @@ type Crawler struct {
 	// MinPeriod / MaxPeriod bound the adaptive refresh period.
 	MinPeriod time.Duration
 	MaxPeriod time.Duration
+
+	// Faults, when set, injects failures at the fetch and commit seams
+	// (chaos tests). Nil never faults. Set before crawling.
+	Faults *faults.Injector
+	// OnError observes every fetch/commit failure (after the stats are
+	// updated and the retry is scheduled, outside the crawler's lock).
+	// Set before crawling.
+	OnError func(url string, err error)
+	// RetryBase / RetryMax bound the exponential retry backoff of a
+	// failing page: attempt n waits base·2ⁿ⁻¹ (±25% deterministic
+	// jitter), capped at RetryMax. Retries are scheduled on the virtual
+	// clock by re-arming nextDue — the crawler never sleeps.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// BreakerThreshold consecutive failures on one site open its circuit
+	// breaker for BreakerCooldown (then a single probe page half-opens
+	// it). Zero threshold disables the breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // New returns a crawler committing to store and dispatching to sink.
@@ -76,14 +125,19 @@ func New(store *warehouse.Store, sink Sink, clock func() time.Time) *Crawler {
 		clock = time.Now
 	}
 	return &Crawler{
-		store:         store,
-		sink:          sink,
-		clock:         clock,
-		pages:         make(map[string]*pageState),
-		DefaultPeriod: 7 * 24 * time.Hour,
-		ChangeEvery:   24 * time.Hour,
-		MinPeriod:     time.Hour,
-		MaxPeriod:     30 * 24 * time.Hour,
+		store:            store,
+		sink:             sink,
+		clock:            clock,
+		pages:            make(map[string]*pageState),
+		breakers:         make(map[string]*siteBreaker),
+		DefaultPeriod:    7 * 24 * time.Hour,
+		ChangeEvery:      24 * time.Hour,
+		MinPeriod:        time.Hour,
+		MaxPeriod:        30 * 24 * time.Hour,
+		RetryBase:        time.Minute,
+		RetryMax:         6 * time.Hour,
+		BreakerThreshold: 5,
+		BreakerCooldown:  time.Hour,
 	}
 }
 
@@ -139,19 +193,36 @@ func (p *pageState) remoteVersion(now time.Time) int {
 }
 
 // Step fetches every page whose refresh time has come, in URL order for
-// determinism, and returns how many pages were fetched.
+// determinism, and returns how many pages were fetched. Pages of a site
+// whose circuit breaker is open are deferred (their nextDue stays in the
+// past, so the next Step reconsiders them); once the cooldown passes, the
+// first due page of the site goes through as the half-open probe.
 func (c *Crawler) Step() int {
 	now := c.clock()
 	c.mu.Lock()
-	var due []*pageState
+	var candidates []*pageState
 	for _, p := range c.pages {
 		if !p.nextDue.After(now) {
-			due = append(due, p)
+			candidates = append(candidates, p)
 		}
 	}
-	sort.Slice(due, func(i, j int) bool { return due[i].url < due[j].url })
-	for _, p := range due {
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].url < candidates[j].url })
+	var due []*pageState
+	var probing map[string]bool
+	for _, p := range candidates {
+		base := p.site.Spec().BaseURL
+		if br := c.breakers[base]; br != nil && br.open {
+			if now.Before(br.openUntil) || probing[base] {
+				c.stats.Deferred++
+				continue
+			}
+			if probing == nil {
+				probing = make(map[string]bool)
+			}
+			probing[base] = true
+		}
 		p.nextDue = now.Add(p.period)
+		due = append(due, p)
 	}
 	c.mu.Unlock()
 
@@ -180,6 +251,10 @@ func (c *Crawler) FetchAll() int {
 }
 
 func (c *Crawler) fetch(p *pageState, now time.Time) {
+	if err := c.Faults.Check(faults.PointFetch, p.url); err != nil {
+		c.fetchFailed(p, now, err, false)
+		return
+	}
 	version := p.remoteVersion(now)
 	if !p.site.Alive(p.url, version) {
 		c.handleGone(p)
@@ -188,15 +263,22 @@ func (c *Crawler) fetch(p *pageState, now time.Time) {
 	var res *warehouse.CommitResult
 	var err error
 	var content []byte
-	if p.html {
-		content = p.site.FetchHTML(p.url, version)
-		res, err = c.store.CommitHTML(p.url, content)
-	} else {
-		doc := p.site.FetchXML(p.url, version)
-		spec := p.site.Spec()
-		res, err = c.store.CommitXML(p.url, spec.DTD, spec.Domain, doc)
+	if err = c.Faults.Check(faults.PointCommit, p.url); err == nil {
+		if p.html {
+			content = p.site.FetchHTML(p.url, version)
+			res, err = c.store.CommitHTML(p.url, content)
+		} else {
+			doc := p.site.FetchXML(p.url, version)
+			spec := p.site.Spec()
+			res, err = c.store.CommitXML(p.url, spec.DTD, spec.Domain, doc)
+		}
 	}
 	if err != nil {
+		// A failed commit means the warehouse never saw this version: the
+		// page is rescheduled with backoff instead of waiting a full
+		// refresh period (and instead of vanishing silently, the original
+		// sin of this function).
+		c.fetchFailed(p, now, err, true)
 		return
 	}
 	if p.html {
@@ -204,6 +286,7 @@ func (c *Crawler) fetch(p *pageState, now time.Time) {
 	}
 	c.mu.Lock()
 	c.stats.Fetches++
+	c.recoverLocked(p)
 	switch res.Status {
 	case warehouse.StatusNew:
 		c.stats.New++
@@ -234,6 +317,85 @@ func (c *Crawler) fetch(p *pageState, now time.Time) {
 			Content: content,
 		})
 	}
+}
+
+// fetchFailed records a fetch or commit failure, schedules the retry with
+// capped exponential backoff on the virtual clock, advances the site's
+// circuit breaker, and fires the error hook (outside the lock).
+func (c *Crawler) fetchFailed(p *pageState, now time.Time, err error, commit bool) {
+	c.mu.Lock()
+	if commit {
+		c.stats.CommitErrors++
+	} else {
+		c.stats.FetchErrors++
+	}
+	p.fails++
+	c.stats.Retries++
+	p.nextDue = now.Add(retryBackoff(c.RetryBase, c.RetryMax, p.fails, p.url))
+	if c.BreakerThreshold > 0 {
+		base := p.site.Spec().BaseURL
+		br := c.breakers[base]
+		if br == nil {
+			br = &siteBreaker{}
+			c.breakers[base] = br
+		}
+		br.fails++
+		if br.fails >= c.BreakerThreshold {
+			if !br.open {
+				c.stats.BreakerOpens++
+			}
+			br.open = true
+			br.openUntil = now.Add(c.BreakerCooldown)
+		}
+	}
+	hook := c.OnError
+	c.mu.Unlock()
+	if hook != nil {
+		hook(p.url, err)
+	}
+}
+
+// recoverLocked resets the failure state of a page after a successful
+// fetch and closes its site's breaker (a successful half-open probe).
+func (c *Crawler) recoverLocked(p *pageState) {
+	p.fails = 0
+	if br := c.breakers[p.site.Spec().BaseURL]; br != nil {
+		if br.open {
+			c.stats.BreakerCloses++
+		}
+		br.open = false
+		br.fails = 0
+	}
+}
+
+// retryBackoff is the capped exponential backoff of attempt n (1-based)
+// with ±25% jitter. The jitter is a deterministic function of (url, n) —
+// an FNV-1a hash, not a shared rng — so concurrent fetches stay
+// reproducible while retries of different pages still de-synchronise
+// instead of stampeding the site together.
+func retryBackoff(base, max time.Duration, fails int, url string) time.Duration {
+	if base <= 0 {
+		base = time.Minute
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 1; i < fails && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write([]byte(url))
+	seed := h.Sum64() ^ uint64(fails)*0x9e3779b97f4a7c15
+	frac := 0.75 + 0.5*float64(seed>>11)/float64(uint64(1)<<53)
+	j := time.Duration(float64(d) * frac)
+	if j > max {
+		j = max
+	}
+	return j
 }
 
 func clampPeriod(d, min, max time.Duration) time.Duration {
@@ -299,8 +461,15 @@ func (c *Crawler) handleGone(p *pageState) {
 		c.stats.Deleted++
 	}
 	sink := c.sink
+	hook := c.OnError
 	c.mu.Unlock()
-	if err != nil || sink == nil {
+	if err != nil {
+		if hook != nil {
+			hook(p.url, err)
+		}
+		return
+	}
+	if sink == nil {
 		return
 	}
 	sink(&alerter.Doc{Meta: res.Meta, Status: warehouse.StatusDeleted, Doc: res.Doc})
@@ -318,4 +487,24 @@ func (c *Crawler) Pages() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.pages)
+}
+
+// BreakerOpen reports whether the circuit breaker of the site with the
+// given base URL is currently open.
+func (c *Crawler) BreakerOpen(baseURL string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	br := c.breakers[baseURL]
+	return br != nil && br.open
+}
+
+// Fails reports the consecutive-failure count of a page (0 when unknown
+// or healthy); retry tests observe backoff growth through it.
+func (c *Crawler) Fails(url string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.pages[url]; ok {
+		return p.fails
+	}
+	return 0
 }

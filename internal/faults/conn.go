@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn and consults an Injector on every Read and Write.
+// Error-mode faults fail the operation and poison the connection (every
+// later operation fails too, the way a broken TCP stream behaves); latency
+// faults delay it; drop faults swallow writes whole; truncate faults
+// transmit half the buffer then fail. The zero Injector case (nil) makes
+// the wrapper transparent.
+type Conn struct {
+	net.Conn
+	in    *Injector
+	point Point
+	key   string
+
+	mu     sync.Mutex
+	broken error // first injected hard failure; sticky
+}
+
+// WrapConn wraps conn so Read/Write consult in at point. The key passed to
+// the rules is the remote address (rule Match selects one peer out of a
+// cluster).
+func WrapConn(conn net.Conn, in *Injector, point Point) *Conn {
+	key := ""
+	if addr := conn.RemoteAddr(); addr != nil {
+		key = addr.String()
+	}
+	return &Conn{Conn: conn, in: in, point: point, key: key}
+}
+
+// Read applies armed faults, then reads from the wrapped conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	if err := c.apply(); err != nil {
+		return 0, err
+	}
+	f := c.in.Fire(c.point, c.key)
+	if f == nil {
+		return c.Conn.Read(b)
+	}
+	switch f.Mode {
+	case ModeLatency:
+		c.in.sleep(f.Latency)
+		return c.Conn.Read(b)
+	case ModeDrop:
+		// A dropped read behaves like a peer that stopped talking: the
+		// arriving bytes are discarded and the caller stays blocked until
+		// its deadline fires (or forever, if it set none — which is
+		// exactly the hang the deadline discipline exists to prevent).
+		scratch := make([]byte, 512)
+		for {
+			if _, err := c.Conn.Read(scratch); err != nil {
+				return 0, err
+			}
+		}
+	default: // ModeError, ModeTruncate
+		err := c.breakWith(f)
+		_ = c.Conn.Close()
+		return 0, err
+	}
+}
+
+// Write applies armed faults, then writes to the wrapped conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	if err := c.apply(); err != nil {
+		return 0, err
+	}
+	f := c.in.Fire(c.point, c.key)
+	if f == nil {
+		return c.Conn.Write(b)
+	}
+	switch f.Mode {
+	case ModeLatency:
+		c.in.sleep(f.Latency)
+		return c.Conn.Write(b)
+	case ModeDrop:
+		// Report success without transmitting: the peer times out, the
+		// caller does not.
+		return len(b), nil
+	case ModeTruncate:
+		n, _ := c.Conn.Write(b[:len(b)/2])
+		err := c.breakWith(f)
+		_ = c.Conn.Close()
+		return n, err
+	default: // ModeError
+		err := c.breakWith(f)
+		_ = c.Conn.Close()
+		return 0, err
+	}
+}
+
+// apply returns the sticky failure of a poisoned connection.
+func (c *Conn) apply() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// breakWith poisons the connection with the fault's error and returns it.
+func (c *Conn) breakWith(f *Fault) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken == nil {
+		if f.Err != nil {
+			c.broken = f.Err
+		} else {
+			c.broken = ErrInjected
+		}
+	}
+	return c.broken
+}
+
+// Dialer returns a dial function that wraps every produced connection —
+// the shape cluster.WithDialer expects.
+func Dialer(in *Injector, point Point, timeout time.Duration) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		if err := in.Check(point, addr); err != nil {
+			return nil, err
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return WrapConn(conn, in, point), nil
+	}
+}

@@ -1,7 +1,7 @@
 package manager
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -88,23 +88,34 @@ func (j *FileJournal) Append(r Record) error {
 	return f.Sync()
 }
 
-// Records reads back every journal line.
+// Records reads back every journal line. A final line without its
+// terminating newline is a torn tail — the crash happened mid-Append —
+// and is discarded (and truncated away, so the next Append starts on a
+// clean boundary) rather than failing the whole recovery: every record
+// before it was durably synced and must come back. Corruption anywhere
+// else (a terminated line that does not parse) still fails loudly — that
+// is not a crash artifact, the file was damaged.
 func (j *FileJournal) Records() ([]Record, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	f, err := os.Open(j.path)
+	data, err := os.ReadFile(j.path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
 		}
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	defer f.Close()
+	valid := len(data) // bytes covered by newline-terminated lines
+	if i := bytes.LastIndexByte(data, '\n'); i < 0 {
+		valid = 0
+	} else {
+		valid = i + 1
+	}
 	var out []Record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
+	for rest := data[:valid]; len(rest) > 0; {
+		nl := bytes.IndexByte(rest, '\n')
+		line := rest[:nl]
+		rest = rest[nl+1:]
 		if len(line) == 0 {
 			continue
 		}
@@ -114,8 +125,10 @@ func (j *FileJournal) Records() ([]Record, error) {
 		}
 		out = append(out, r)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
+	if valid < len(data) {
+		if err := os.Truncate(j.path, int64(valid)); err != nil {
+			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,113 @@
+package manager
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tornJournal writes a journal whose final Append was cut short at
+// byteCut bytes into its line — the on-disk state after a crash between
+// write and sync.
+func tornJournal(t *testing.T, intact []Record, tornLine string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := NewFileJournal(path)
+	if err != nil {
+		t.Fatalf("NewFileJournal: %v", err)
+	}
+	for _, r := range intact {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(tornLine); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+// TestRecordsSkipsTornTail pins crash recovery: a half-written final line
+// must not cost the durably synced prefix.
+func TestRecordsSkipsTornTail(t *testing.T) {
+	intact := []Record{
+		{Op: "subscribe", Name: "a", Source: "monitor x"},
+		{Op: "subscribe", Name: "b", Source: "monitor y"},
+		{Op: "unsubscribe", Name: "a"},
+	}
+	// The torn tail is even valid JSON up to the cut — it still goes,
+	// because Append always terminates lines with '\n'.
+	path := tornJournal(t, intact, `{"op":"subscribe","name":"c"`)
+	j, err := NewFileJournal(path)
+	if err != nil {
+		t.Fatalf("NewFileJournal: %v", err)
+	}
+	got, err := j.Records()
+	if err != nil {
+		t.Fatalf("Records on torn journal: %v", err)
+	}
+	if len(got) != len(intact) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(intact))
+	}
+	for i, r := range got {
+		if r != intact[i] {
+			t.Errorf("record %d = %+v, want %+v", i, r, intact[i])
+		}
+	}
+
+	// The torn bytes are truncated away, so a post-recovery Append starts
+	// on a clean line boundary and a second recovery sees the new record.
+	if err := j.Append(Record{Op: "subscribe", Name: "d"}); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	got, err = j.Records()
+	if err != nil {
+		t.Fatalf("Records after post-recovery append: %v", err)
+	}
+	if len(got) != 4 || got[3].Name != "d" {
+		t.Fatalf("after append: %+v", got)
+	}
+}
+
+// TestRecordsTornTailOnly pins the degenerate case: a journal whose only
+// content is a torn line recovers to zero records, not an error.
+func TestRecordsTornTailOnly(t *testing.T) {
+	path := tornJournal(t, nil, `{"op":"sub`)
+	j, err := NewFileJournal(path)
+	if err != nil {
+		t.Fatalf("NewFileJournal: %v", err)
+	}
+	got, err := j.Records()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Records = %v, %v; want empty, nil", got, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Errorf("torn-only journal not truncated: %q", data)
+	}
+}
+
+// TestRecordsMidFileCorruptionStillFails pins the boundary of the
+// tolerance: a terminated line that does not parse is damage, not a
+// crash artifact, and recovery must refuse to silently drop it.
+func TestRecordsMidFileCorruptionStillFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := os.WriteFile(path, []byte(`{"op":"subscribe","name":"a"}`+"\n"+`garbage`+"\n"+`{"op":"subscribe","name":"b"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewFileJournal(path)
+	if err != nil {
+		t.Fatalf("NewFileJournal: %v", err)
+	}
+	if _, err := j.Records(); err == nil {
+		t.Fatal("mid-file corruption recovered silently")
+	}
+}

@@ -1,0 +1,98 @@
+package reporter
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xymon/internal/xmldom"
+)
+
+// TestEmailSinkDayWindowRollover drives the sink across its 24-hour
+// accounting boundary: capacity applies per day and resets exactly when a
+// new day window starts.
+func TestEmailSinkDayWindowRollover(t *testing.T) {
+	now := time.Date(2001, 5, 21, 23, 0, 0, 0, time.UTC)
+	sink := NewEmailSink(2, true, func() time.Time { return now })
+	rep := func(sub string) *Report {
+		return &Report{Subscription: sub, Doc: xmldom.Element("Report"), Time: now}
+	}
+
+	if err := sink.Deliver(rep("a")); err != nil {
+		t.Fatalf("first delivery: %v", err)
+	}
+	if err := sink.Deliver(rep("b")); err != nil {
+		t.Fatalf("second delivery: %v", err)
+	}
+	if err := sink.Deliver(rep("c")); err == nil {
+		t.Fatal("third delivery within capacity-2 day succeeded")
+	}
+
+	// 23 hours later is still inside the same window (it opened at
+	// delivery time, not midnight): still rejected.
+	now = now.Add(23 * time.Hour)
+	if err := sink.Deliver(rep("d")); err == nil {
+		t.Fatal("delivery inside the 24h window ignored the exhausted capacity")
+	}
+
+	// Crossing the 24-hour mark opens a fresh window with a fresh budget.
+	now = now.Add(2 * time.Hour)
+	if err := sink.Deliver(rep("e")); err != nil {
+		t.Fatalf("delivery after rollover: %v", err)
+	}
+	if err := sink.Deliver(rep("f")); err != nil {
+		t.Fatalf("second delivery after rollover: %v", err)
+	}
+	if err := sink.Deliver(rep("g")); err == nil {
+		t.Fatal("new window's capacity not enforced")
+	}
+
+	total, rejected := sink.Counts()
+	if total != 4 || rejected != 3 {
+		t.Errorf("Counts = (%d, %d), want (4, 3)", total, rejected)
+	}
+	var got []string
+	for _, e := range sink.Sent() {
+		got = append(got, e.To)
+	}
+	if strings.Join(got, ",") != "a,b,e,f" {
+		t.Errorf("accepted mails = %v, want [a b e f]", got)
+	}
+}
+
+// TestEmailSinkCapacityExhaustionError pins the shape of the rejection:
+// an error naming the capacity, with the mail not retained and the
+// rejection counted.
+func TestEmailSinkCapacityExhaustionError(t *testing.T) {
+	now := time.Date(2001, 5, 21, 9, 0, 0, 0, time.UTC)
+	sink := NewEmailSink(1, true, func() time.Time { return now })
+	doc := xmldom.Element("Report")
+	if err := sink.Deliver(&Report{Subscription: "S", Doc: doc}); err != nil {
+		t.Fatalf("delivery under capacity: %v", err)
+	}
+	err := sink.Deliver(&Report{Subscription: "S", Doc: doc})
+	if err == nil || !strings.Contains(err.Error(), "capacity 1 exhausted") {
+		t.Fatalf("exhaustion error = %v", err)
+	}
+	if len(sink.Sent()) != 1 {
+		t.Errorf("rejected mail was retained: %d sent", len(sink.Sent()))
+	}
+	if total, rejected := sink.Counts(); total != 1 || rejected != 1 {
+		t.Errorf("Counts = (%d, %d), want (1, 1)", total, rejected)
+	}
+}
+
+// TestEmailSinkUnlimited pins that capacity 0 never rejects.
+func TestEmailSinkUnlimited(t *testing.T) {
+	now := time.Date(2001, 5, 21, 9, 0, 0, 0, time.UTC)
+	sink := NewEmailSink(0, false, func() time.Time { return now })
+	doc := xmldom.Element("Report")
+	for i := 0; i < 1000; i++ {
+		if err := sink.Deliver(&Report{Subscription: "S", Doc: doc}); err != nil {
+			t.Fatalf("delivery %d: %v", i, err)
+		}
+	}
+	if total, rejected := sink.Counts(); total != 1000 || rejected != 0 {
+		t.Errorf("Counts = (%d, %d), want (1000, 0)", total, rejected)
+	}
+}

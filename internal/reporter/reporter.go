@@ -87,8 +87,14 @@ type Reporter struct {
 	archMu  sync.Mutex
 	archive []archivedReport
 
-	delivered atomic.Uint64
-	failed    atomic.Uint64
+	// retry holds failed deliveries between redelivery attempts; its
+	// queue drains on Tick.
+	retry retryState
+
+	delivered    atomic.Uint64
+	failed       atomic.Uint64
+	retried      atomic.Uint64
+	deadLettered atomic.Uint64
 }
 
 type archivedReport struct {
@@ -109,6 +115,11 @@ func New(sink Delivery, opts ...Option) *Reporter {
 	r := &Reporter{
 		delivery: sink,
 		clock:    time.Now,
+		retry: retryState{
+			maxAttempts: 5,
+			base:        time.Minute,
+			max:         time.Hour,
+		},
 	}
 	for i := range r.stripes {
 		r.stripes[i].subs = make(map[string]*subState)
@@ -298,6 +309,7 @@ func (r *Reporter) Tick() {
 	r.archive = keep
 	r.archMu.Unlock()
 	r.deliver(reps)
+	r.drainRetries(now)
 }
 
 // conditionHolds evaluates the disjunction of report terms. onArrival is
@@ -397,11 +409,16 @@ func (r *Reporter) buildLocked(sub string, st *subState, now time.Time) []*Repor
 }
 
 // deliver hands finished reports to the sink — with no lock held — and
-// folds the outcome into the counters.
+// folds the outcome into the counters. Failures enter the retry queue.
 func (r *Reporter) deliver(reps []*Report) {
+	if len(reps) == 0 {
+		return
+	}
+	now := r.clock()
 	for _, rep := range reps {
 		if err := r.delivery.Deliver(rep); err != nil {
 			r.failed.Add(1)
+			r.noteFailure(rep, 1, err, now)
 		} else {
 			r.delivered.Add(1)
 		}

@@ -1,0 +1,147 @@
+package reporter
+
+import (
+	"sync"
+	"time"
+)
+
+// The paper's Reporter hands reports to sendmail and moves on; a
+// saturated or crashed daemon silently eats them. The retry queue keeps
+// every failed report, re-attempts it on the Reporter's own timer with
+// capped exponential backoff, and — once the attempt budget is spent —
+// parks it on a dead-letter queue with the final error, so an operator
+// can tell "delivered late" from "lost, and here is why".
+
+// retryEntry is one report waiting for redelivery.
+type retryEntry struct {
+	rep      *Report
+	attempts int // failed attempts so far
+	nextTry  time.Time
+	lastErr  error
+}
+
+// DeadLetter is a report that exhausted its delivery attempts.
+type DeadLetter struct {
+	Report   *Report
+	Attempts int
+	Reason   string // the final delivery error
+	Time     time.Time
+}
+
+// retryState is the Reporter's redelivery bookkeeping. Its lock is
+// independent of the notification stripes and is never held across a
+// Deliver call.
+type retryState struct {
+	mu          sync.Mutex
+	queue       []*retryEntry
+	dead        []DeadLetter
+	maxAttempts int // total attempts per report; 0 disables retrying
+	base        time.Duration
+	max         time.Duration
+}
+
+// WithRetryPolicy sets the delivery retry budget: maxAttempts total
+// attempts per report (0 disables retrying entirely — a failure is only
+// counted, the pre-retry behaviour), with the delay between attempts
+// growing from base, doubling, capped at max. The default is 5 attempts,
+// 1m base, 1h cap.
+func WithRetryPolicy(maxAttempts int, base, max time.Duration) Option {
+	return func(r *Reporter) {
+		r.retry.maxAttempts = maxAttempts
+		if base > 0 {
+			r.retry.base = base
+		}
+		if max > 0 {
+			r.retry.max = max
+		}
+	}
+}
+
+// retryDelay is the backoff before attempt attempts+1: base·2ⁿ⁻¹ capped
+// at max.
+func retryDelay(base, max time.Duration, attempts int) time.Duration {
+	d := base
+	for i := 1; i < attempts && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// noteFailure routes a failed delivery into the retry queue, or the
+// dead-letter queue once the attempt budget is spent. Called with no
+// other Reporter lock held.
+func (r *Reporter) noteFailure(rep *Report, attempts int, err error, now time.Time) {
+	rt := &r.retry
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.maxAttempts == 0 {
+		return // retrying disabled
+	}
+	if attempts >= rt.maxAttempts {
+		rt.dead = append(rt.dead, DeadLetter{
+			Report:   rep,
+			Attempts: attempts,
+			Reason:   err.Error(),
+			Time:     now,
+		})
+		r.deadLettered.Add(1)
+		return
+	}
+	rt.queue = append(rt.queue, &retryEntry{
+		rep:      rep,
+		attempts: attempts,
+		nextTry:  now.Add(retryDelay(rt.base, rt.max, attempts)),
+		lastErr:  err,
+	})
+}
+
+// drainRetries re-attempts every queued report whose backoff has elapsed.
+// Deliver runs with no lock held; failures re-enter the queue (or the
+// dead-letter queue) through noteFailure.
+func (r *Reporter) drainRetries(now time.Time) {
+	rt := &r.retry
+	rt.mu.Lock()
+	var due []*retryEntry
+	keep := rt.queue[:0]
+	for _, e := range rt.queue {
+		if e.nextTry.After(now) {
+			keep = append(keep, e)
+		} else {
+			due = append(due, e)
+		}
+	}
+	rt.queue = keep
+	rt.mu.Unlock()
+	for _, e := range due {
+		r.retried.Add(1)
+		if err := r.delivery.Deliver(e.rep); err != nil {
+			r.failed.Add(1)
+			r.noteFailure(e.rep, e.attempts+1, err, now)
+		} else {
+			r.delivered.Add(1)
+		}
+	}
+}
+
+// RetryPending returns the number of reports waiting for redelivery.
+func (r *Reporter) RetryPending() int {
+	r.retry.mu.Lock()
+	defer r.retry.mu.Unlock()
+	return len(r.retry.queue)
+}
+
+// DeadLetters returns a copy of the dead-letter queue.
+func (r *Reporter) DeadLetters() []DeadLetter {
+	r.retry.mu.Lock()
+	defer r.retry.mu.Unlock()
+	return append([]DeadLetter(nil), r.retry.dead...)
+}
+
+// RetryStats returns how many redelivery attempts were made and how many
+// reports were dead-lettered.
+func (r *Reporter) RetryStats() (retried, deadLettered uint64) {
+	return r.retried.Load(), r.deadLettered.Load()
+}

@@ -1,0 +1,126 @@
+package reporter
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// flakySink fails the first failN deliveries, then accepts everything.
+type flakySink struct {
+	failN int
+	calls int
+	sent  []*Report
+}
+
+func (s *flakySink) Deliver(rep *Report) error {
+	s.calls++
+	if s.calls <= s.failN {
+		return errors.New("spool full")
+	}
+	s.sent = append(s.sent, rep)
+	return nil
+}
+
+// retryRig builds a Reporter on a virtual clock with one immediate-report
+// subscription.
+func retryRig(sink Delivery, opts ...Option) (*Reporter, *time.Time) {
+	now := time.Date(2001, 5, 21, 9, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	r := New(sink, append([]Option{WithClock(clock)}, opts...)...)
+	r.Register("S", nil)
+	return r, &now
+}
+
+func TestRetryQueueRedelivers(t *testing.T) {
+	sink := &flakySink{failN: 1}
+	r, now := retryRig(sink)
+
+	r.Notify(Notification{Subscription: "S"})
+	if d, f := r.Stats(); d != 0 || f != 1 {
+		t.Fatalf("after failed delivery: delivered=%d failed=%d", d, f)
+	}
+	if r.RetryPending() != 1 {
+		t.Fatalf("RetryPending = %d, want 1", r.RetryPending())
+	}
+
+	// Before the backoff elapses, Tick must not re-attempt.
+	r.Tick()
+	if sink.calls != 1 {
+		t.Fatalf("Tick inside backoff re-attempted: %d calls", sink.calls)
+	}
+
+	*now = now.Add(2 * time.Minute)
+	r.Tick()
+	if d, _ := r.Stats(); d != 1 {
+		t.Fatalf("after retry Tick: delivered=%d, want 1", d)
+	}
+	if r.RetryPending() != 0 || len(r.DeadLetters()) != 0 {
+		t.Errorf("pending=%d dead=%d after successful retry", r.RetryPending(), len(r.DeadLetters()))
+	}
+	if retried, dead := r.RetryStats(); retried != 1 || dead != 0 {
+		t.Errorf("RetryStats = (%d, %d), want (1, 0)", retried, dead)
+	}
+	if len(sink.sent) != 1 || sink.sent[0].Subscription != "S" {
+		t.Errorf("sink got %v", sink.sent)
+	}
+}
+
+func TestDeadLetterAfterBudget(t *testing.T) {
+	sink := &flakySink{failN: 1 << 30} // never succeeds
+	r, now := retryRig(sink, WithRetryPolicy(3, time.Minute, time.Hour))
+
+	r.Notify(Notification{Subscription: "S"})
+	for i := 0; i < 6; i++ {
+		*now = now.Add(time.Hour)
+		r.Tick()
+	}
+	if sink.calls != 3 {
+		t.Fatalf("sink saw %d attempts, want exactly the budget of 3", sink.calls)
+	}
+	if r.RetryPending() != 0 {
+		t.Errorf("RetryPending = %d after exhausting the budget", r.RetryPending())
+	}
+	dead := r.DeadLetters()
+	if len(dead) != 1 {
+		t.Fatalf("DeadLetters = %d entries, want 1", len(dead))
+	}
+	dl := dead[0]
+	if dl.Attempts != 3 || dl.Report.Subscription != "S" || !strings.Contains(dl.Reason, "spool full") {
+		t.Errorf("dead letter = %+v", dl)
+	}
+	if _, deadN := r.RetryStats(); deadN != 1 {
+		t.Errorf("deadLettered = %d, want 1", deadN)
+	}
+	if _, f := r.Stats(); f != 3 {
+		t.Errorf("failed = %d, want 3 (one per attempt)", f)
+	}
+}
+
+func TestRetryDisabled(t *testing.T) {
+	sink := &flakySink{failN: 1 << 30}
+	r, now := retryRig(sink, WithRetryPolicy(0, 0, 0))
+	r.Notify(Notification{Subscription: "S"})
+	*now = now.Add(24 * time.Hour)
+	r.Tick()
+	if sink.calls != 1 {
+		t.Errorf("disabled retry still re-attempted: %d calls", sink.calls)
+	}
+	if r.RetryPending() != 0 || len(r.DeadLetters()) != 0 {
+		t.Errorf("disabled retry left state: pending=%d dead=%d", r.RetryPending(), len(r.DeadLetters()))
+	}
+}
+
+func TestRetryDelayGrowsAndCaps(t *testing.T) {
+	base, max := time.Minute, 10*time.Minute
+	want := []time.Duration{
+		time.Minute, 2 * time.Minute, 4 * time.Minute,
+		8 * time.Minute, 10 * time.Minute, 10 * time.Minute,
+	}
+	for i, w := range want {
+		if got := retryDelay(base, max, i+1); got != w {
+			t.Errorf("retryDelay(attempt %d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
