@@ -50,6 +50,11 @@ var analyzers = []*Analyzer{
 		Run:  runConnguard,
 	},
 	{
+		Name: "walfsync",
+		Doc:  "os.Rename of a file created in the same function with no parent-directory sync after it; a crash can undo the install",
+		Run:  runWalfsync,
+	},
+	{
 		Name: "printcheck",
 		Doc:  "fmt.Print*/log output in library packages; output must flow through the reporter",
 		Run:  runPrintcheck,

@@ -1,0 +1,97 @@
+// Package walfsync is the fixture for the walfsync analyzer: an
+// os.Rename installing a file created in the same function must be
+// followed by a parent-directory sync, or a crash can undo the install.
+package walfsync
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func installNoSync(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "state.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "state")) // want walfsync
+}
+
+func installCreateNoSync(dir string) error {
+	f, err := os.Create(filepath.Join(dir, "out.tmp"))
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(filepath.Join(dir, "out.tmp"), filepath.Join(dir, "out")) // want walfsync
+}
+
+func installThenSyncDir(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "state.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "state")); err != nil {
+		return err
+	}
+	return SyncDir(dir) // discharged: a SyncDir call after the rename
+}
+
+// SyncDir reopens the directory and fsyncs it, making the rename
+// durable — the same shape (and name) as wal.SyncDir.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+func installThenDirSync(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "state.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "state")); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync() // discharged: parent-directory fsync after the rename
+}
+
+// fileSyncBeforeRenameOnly fsyncs the file's content but never the
+// directory: the bytes are durable, the rename is not.
+func fileSyncBeforeRenameOnly(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "state.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "state")) // want walfsync
+}
+
+// moveForeignFile renames a file it did not create: rotation and moving
+// are the caller's durability concern, not this function's.
+func moveForeignFile(oldPath, newPath string) error {
+	return os.Rename(oldPath, newPath)
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// runWalfsync flags os.Rename calls that install a file created in the
+// same function without a parent-directory sync after the rename. The
+// create→fsync→rename shape makes the new content atomic, but the rename
+// itself lives in the directory: until the directory is fsynced, a crash
+// can roll the whole install back — the durability bug the WAL's
+// checkpoint protocol exists to prevent. A rename of a file the function
+// did not create (moving, rotating) is the caller's concern and is not
+// flagged.
+//
+// internal/wal is exempt: it owns the helpers (SyncDir, WriteFileSync)
+// the rest of the tree discharges this rule with.
+func runWalfsync(pkg *Package) []Finding {
+	if strings.HasSuffix(pkg.Path, "/internal/wal") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, walfsyncFunc(pkg, fd)...)
+		}
+	}
+	return out
+}
+
+// walfsyncFunc checks one function body lexically: every os.Rename
+// preceded by a file creation needs a SyncDir call or a .Sync() call
+// after it.
+func walfsyncFunc(pkg *Package, fd *ast.FuncDecl) []Finding {
+	var creates, renames, syncs []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := pkgFuncCall(pkg, call, "os"); ok {
+			switch name {
+			case "Create", "OpenFile", "CreateTemp", "WriteFile":
+				creates = append(creates, call.Pos())
+			case "Rename":
+				renames = append(renames, call.Pos())
+			}
+			return true
+		}
+		// The discharge shapes: wal.SyncDir (or a local equivalent named
+		// SyncDir) and an explicit handle .Sync() — after the rename, the
+		// latter can only be the reopened parent directory. WriteFileSync
+		// creates its file, so renaming its output still needs the
+		// directory sync.
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			switch fun.Sel.Name {
+			case "SyncDir", "Sync":
+				syncs = append(syncs, call.Pos())
+			case "WriteFileSync":
+				creates = append(creates, call.Pos())
+			}
+		case *ast.Ident:
+			switch fun.Name {
+			case "SyncDir":
+				syncs = append(syncs, call.Pos())
+			case "WriteFileSync":
+				creates = append(creates, call.Pos())
+			}
+		}
+		return true
+	})
+	var out []Finding
+	for _, rp := range renames {
+		created := false
+		for _, cp := range creates {
+			if cp < rp {
+				created = true
+				break
+			}
+		}
+		if !created {
+			continue
+		}
+		synced := false
+		for _, sp := range syncs {
+			if sp > rp {
+				synced = true
+				break
+			}
+		}
+		if !synced {
+			out = append(out, Finding{
+				Pos:  rp,
+				Rule: "walfsync",
+				Msg:  "os.Rename installs a file created in this function with no parent-directory sync after it; a crash can undo the rename (use wal.SyncDir)",
+			})
+		}
+	}
+	return out
+}

@@ -313,6 +313,35 @@ func TestPrefixIndexImplementationsAgree(t *testing.T) {
 	}
 }
 
+// TestHashPrefixLookupConcurrent pins the read-only contract of
+// HashPrefixIndex.Lookup: the URL alerter calls it under a read lock, so
+// overlapping Lookups must not mutate the index. The lazy length-sort
+// that used to run inside Lookup raced exactly here — two Detects right
+// after a Subscribe both saw the index dirty and rebuilt it at once.
+// Run with -race.
+func TestHashPrefixLookupConcurrent(t *testing.T) {
+	idx := NewHashPrefixIndex()
+	for i, pat := range []string{"http://a.com/", "http://a.com/x/", "http://b.org/"} {
+		idx.Add(pat, core.Event(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				var got []core.Event
+				idx.Lookup("http://a.com/x/y.xml", func(c core.Event) { got = append(got, c) })
+				if len(got) != 2 {
+					t.Errorf("Lookup emitted %v, want 2 codes", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func TestNoEventsNoAlert(t *testing.T) {
 	p := NewPipeline(nil)
 	d := xmlDoc("http://x/", warehouse.StatusNew, xmldom.MustParse("<a/>"))

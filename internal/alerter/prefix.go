@@ -26,8 +26,7 @@ type PrefixIndex interface {
 type HashPrefixIndex struct {
 	patterns map[string][]core.Event
 	lengths  map[int]int // pattern length -> number of patterns of that length
-	sorted   []int       // registered lengths, ascending
-	dirty    bool
+	sorted   []int       // registered lengths, ascending; maintained by Add/Remove
 }
 
 // NewHashPrefixIndex returns an empty hash-based prefix index.
@@ -38,11 +37,17 @@ func NewHashPrefixIndex() *HashPrefixIndex {
 	}
 }
 
-// Add registers a pattern.
+// Add registers a pattern. The sorted length list is maintained here and
+// in Remove — the alerter's write lock covers both — so that Lookup
+// never mutates the index and stays safe under concurrent readers.
 func (h *HashPrefixIndex) Add(prefix string, code core.Event) {
 	if _, ok := h.patterns[prefix]; !ok {
-		h.lengths[len(prefix)]++
-		h.dirty = true
+		if h.lengths[len(prefix)]++; h.lengths[len(prefix)] == 1 {
+			i := sort.SearchInts(h.sorted, len(prefix))
+			h.sorted = append(h.sorted, 0)
+			copy(h.sorted[i+1:], h.sorted[i:])
+			h.sorted[i] = len(prefix)
+		}
 	}
 	h.patterns[prefix] = append(h.patterns[prefix], code)
 }
@@ -64,24 +69,18 @@ func (h *HashPrefixIndex) Remove(prefix string, code core.Event) {
 		delete(h.patterns, prefix)
 		if h.lengths[len(prefix)]--; h.lengths[len(prefix)] == 0 {
 			delete(h.lengths, len(prefix))
+			i := sort.SearchInts(h.sorted, len(prefix))
+			h.sorted = append(h.sorted[:i], h.sorted[i+1:]...)
 		}
-		h.dirty = true
 	} else {
 		h.patterns[prefix] = codes
 	}
 }
 
 // Lookup probes each prefix of url whose length matches some registered
-// pattern.
+// pattern. It is read-only: callers may hold only a read lock and
+// overlap freely (the lazy sort that used to live here raced).
 func (h *HashPrefixIndex) Lookup(url string, emit func(core.Event)) {
-	if h.dirty {
-		h.sorted = h.sorted[:0]
-		for l := range h.lengths {
-			h.sorted = append(h.sorted, l)
-		}
-		sort.Ints(h.sorted)
-		h.dirty = false
-	}
 	for _, l := range h.sorted {
 		if l > len(url) {
 			break

@@ -33,14 +33,20 @@ func (d *FaultyDelivery) Deliver(rep *reporter.Report) error {
 		case ModeDrop:
 			d.lost.Add(1)
 			return nil
-		default: // ModeError, ModeTruncate
+		default: // ModeError, ModeTruncate, ModeCrash (stubbed Exit)
 			if f.Err != nil {
 				return f.Err
 			}
 			return ErrInjected
 		}
 	}
-	return d.sink.Deliver(rep)
+	if err := d.sink.Deliver(rep); err != nil {
+		return err
+	}
+	// The sink has the report; a fault (or crash) here is the lost ack:
+	// the Reporter will retry, and the duplicate that results is the
+	// at-least-once contract, not a bug.
+	return d.in.Check(PointDeliveryAck, rep.Subscription)
 }
 
 // Lost counts reports swallowed by drop-mode faults.

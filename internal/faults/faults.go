@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -38,6 +39,20 @@ const (
 	// PointDelivery fires in the Delivery wrapper before a report is
 	// handed to the real sink.
 	PointDelivery Point = "delivery"
+	// PointDeliveryAck fires in the Delivery wrapper after the sink
+	// accepted the report but before the Reporter learns it: a fault here
+	// makes the Reporter retry an already-delivered report — the
+	// legitimate duplicate the at-least-once contract allows.
+	PointDeliveryAck Point = "delivery.ack"
+
+	// The WAL's durability points (the wal package reports them to its
+	// Hook by these same strings; it cannot import this package, so the
+	// names are duplicated by contract, pinned by a test).
+	PointWALAppend            Point = "wal.append"
+	PointWALAppendDone        Point = "wal.append.done"
+	PointWALCheckpointTemp    Point = "wal.checkpoint.temp"
+	PointWALCheckpointInstall Point = "wal.checkpoint.install"
+	PointWALCheckpointCompact Point = "wal.checkpoint.compact"
 )
 
 // Mode is the kind of fault a rule injects.
@@ -58,6 +73,12 @@ const (
 	// ModeTruncate lets a wrapped conn's Write transmit only half the
 	// buffer before failing, leaving a torn frame on the wire.
 	ModeTruncate
+	// ModeCrash kills the process via the injector's Exit function
+	// (os.Exit(2) by default) the moment the rule fires — the crash
+	// harness's kill switch, planted at WAL and delivery points. A test
+	// may stub Exit with a function that returns; the faulted operation
+	// then fails with ErrInjected so the stubbed crash is still loud.
+	ModeCrash
 )
 
 // String names the mode for stats and error text.
@@ -71,6 +92,8 @@ func (m Mode) String() string {
 		return "drop"
 	case ModeTruncate:
 		return "truncate"
+	case ModeCrash:
+		return "crash"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -88,6 +111,10 @@ type Rule struct {
 	Prob float64
 	// Count caps how many times the rule fires; 0 is unlimited.
 	Count int
+	// Skip lets the first Skip matching operations pass before the rule
+	// becomes eligible to fire — "crash on the Nth append", the knob the
+	// crash harness sweeps to hit every iteration of a durability point.
+	Skip int
 	// Latency is the delay of a ModeLatency fault.
 	Latency time.Duration
 	// Match, when non-empty, restricts the rule to keys containing it as
@@ -109,6 +136,7 @@ type Fault struct {
 type ruleState struct {
 	rule  Rule
 	fired int
+	seen  int // matching operations skipped so far (Rule.Skip)
 }
 
 // PointStats counts injected faults at one point, by mode.
@@ -117,11 +145,12 @@ type PointStats struct {
 	Latencies uint64
 	Drops     uint64
 	Truncates uint64
+	Crashes   uint64
 }
 
 // Total sums the counters.
 func (p PointStats) Total() uint64 {
-	return p.Errors + p.Latencies + p.Drops + p.Truncates
+	return p.Errors + p.Latencies + p.Drops + p.Truncates + p.Crashes
 }
 
 // Injector decides, deterministically, which operations fault. The zero
@@ -136,6 +165,12 @@ type Injector struct {
 	// virtual-clock tests may substitute a recording stub.
 	//xyvet:ignore nondeterm -- fault injection deliberately delays I/O; the func is injectable
 	Sleep func(time.Duration)
+
+	// Exit performs ModeCrash kills. It defaults to os.Exit; tests that
+	// only want to observe the crash decision substitute a function that
+	// returns (it is called with the injector's mutex held, so a stub
+	// must not call back into the injector).
+	Exit func(code int)
 }
 
 // New returns an injector drawing from the given seed.
@@ -145,6 +180,7 @@ func New(seed int64) *Injector {
 		stats: make(map[Point]*PointStats),
 		//xyvet:ignore nondeterm -- deliberate real delay, injectable for tests
 		Sleep: time.Sleep,
+		Exit:  os.Exit,
 	}
 }
 
@@ -195,6 +231,10 @@ func (in *Injector) Fire(p Point, key string) *Fault {
 		if r.Match != "" && !strings.Contains(key, r.Match) {
 			continue
 		}
+		if rs.seen < r.Skip {
+			rs.seen++
+			continue
+		}
 		if r.Count > 0 && rs.fired >= r.Count {
 			continue
 		}
@@ -218,6 +258,17 @@ func (in *Injector) Fire(p Point, key string) *Fault {
 			st.Drops++
 		case ModeTruncate:
 			st.Truncates++
+			f.Err = fmt.Errorf("%w: %s at %s (%s)", ErrInjected, r.Mode, p, key)
+		case ModeCrash:
+			st.Crashes++
+			if in.Exit != nil {
+				// os.Exit never returns; stubs are documented not to
+				// call back into the injector.
+				//xyvet:ignore lockcheck
+				in.Exit(2)
+			}
+			// Only a stubbed Exit reaches here; fail the operation so
+			// the un-taken crash is still observable.
 			f.Err = fmt.Errorf("%w: %s at %s (%s)", ErrInjected, r.Mode, p, key)
 		}
 		return f

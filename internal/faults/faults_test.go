@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"xymon/internal/reporter"
+	"xymon/internal/wal"
 )
 
 func TestCheckErrorMode(t *testing.T) {
@@ -236,5 +237,90 @@ func TestFaultyDelivery(t *testing.T) {
 	// Cleared injector: delivery flows again.
 	if err := d.Deliver(rep); err != nil || sink.n != 2 {
 		t.Errorf("post-fault delivery = %v (n=%d)", err, sink.n)
+	}
+}
+
+func TestCrashModeCallsExit(t *testing.T) {
+	in := New(1)
+	var code int
+	calls := 0
+	in.Exit = func(c int) { code = c; calls++ }
+	in.Enable(Rule{Point: PointWALAppend, Mode: ModeCrash, Count: 1})
+
+	if err := in.Check(PointWALAppend, "subs"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("stubbed crash = %v, want ErrInjected", err)
+	}
+	if calls != 1 || code != 2 {
+		t.Fatalf("Exit called %d times with code %d, want once with 2", calls, code)
+	}
+	if st := in.Stats()[PointWALAppend]; st.Crashes != 1 {
+		t.Errorf("Crashes = %d, want 1", st.Crashes)
+	}
+	if err := in.Check(PointWALAppend, "subs"); err != nil {
+		t.Errorf("after Count exhausted: %v", err)
+	}
+}
+
+func TestRuleSkipDefersFiring(t *testing.T) {
+	in := New(1)
+	in.Exit = func(int) {}
+	in.Enable(Rule{Point: PointWALAppend, Mode: ModeCrash, Skip: 3, Count: 1})
+	for i := 0; i < 3; i++ {
+		if err := in.Check(PointWALAppend, "k"); err != nil {
+			t.Fatalf("skipped occurrence %d faulted: %v", i, err)
+		}
+	}
+	if err := in.Check(PointWALAppend, "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("occurrence 4 = %v, want the crash", err)
+	}
+	// Skip only counts matching keys.
+	in.Clear()
+	in.Enable(Rule{Point: PointWALAppend, Mode: ModeError, Skip: 1, Match: "yes"})
+	if err := in.Check(PointWALAppend, "no"); err != nil {
+		t.Fatalf("non-matching key consumed a skip: %v", err)
+	}
+	if err := in.Check(PointWALAppend, "yes"); err != nil {
+		t.Fatalf("first match should be skipped: %v", err)
+	}
+	if err := in.Check(PointWALAppend, "yes"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second match = %v, want fault", err)
+	}
+}
+
+// TestWALPointNamesMatch pins the cross-package contract: the wal
+// package reports its durability points by string (it cannot import
+// faults), and the harness arms rules by these Point constants.
+func TestWALPointNamesMatch(t *testing.T) {
+	pairs := map[Point]string{
+		PointWALAppend:            wal.OpAppend,
+		PointWALAppendDone:        wal.OpAppendDone,
+		PointWALCheckpointTemp:    wal.OpCheckpointTemp,
+		PointWALCheckpointInstall: wal.OpCheckpointInstall,
+		PointWALCheckpointCompact: wal.OpCheckpointCompact,
+	}
+	for p, op := range pairs {
+		if string(p) != op {
+			t.Errorf("faults point %q != wal op %q", p, op)
+		}
+	}
+}
+
+func TestDeliveryAckFault(t *testing.T) {
+	in := New(3)
+	sink := &countSink{}
+	d := WrapDelivery(sink, in)
+	rep := &reporter.Report{Subscription: "S"}
+	in.Enable(Rule{Point: PointDeliveryAck, Mode: ModeError, Count: 1})
+
+	// The sink accepted the report; the caller still sees a failure —
+	// exactly the lost-ack shape that forces an at-least-once duplicate.
+	if err := d.Deliver(rep); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ack fault = %v, want ErrInjected", err)
+	}
+	if sink.n != 1 {
+		t.Fatalf("sink deliveries = %d, want 1 (fault fires after acceptance)", sink.n)
+	}
+	if err := d.Deliver(rep); err != nil || sink.n != 2 {
+		t.Errorf("retry = %v (n=%d), want clean duplicate", err, sink.n)
 	}
 }

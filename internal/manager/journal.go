@@ -1,11 +1,12 @@
 package manager
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
-	"os"
+	"io"
 	"sync"
+
+	"xymon/internal/wal"
 )
 
 // Record is one journal entry: a subscribe (with its source text) or an
@@ -53,39 +54,56 @@ func (j *MemJournal) Records() ([]Record, error) {
 	return append([]Record(nil), j.recs...), nil
 }
 
-// FileJournal appends JSON-lines records to a file.
+// Compacter is the optional journal face for checkpointing: replace the
+// journal's history with an equivalent set of live records.
+// Manager.Checkpoint uses it when the journal offers it.
+type Compacter interface {
+	Compact(live []Record) error
+}
+
+// FileJournal appends JSON-lines records to a file. It is a thin adapter
+// over a wal.File with line framing: one handle held for the journal's
+// lifetime (it used to reopen and fsync the file on every Append), the
+// same on-disk format, and the same torn-tail recovery — now shared with
+// the binary WAL.
 type FileJournal struct {
-	mu   sync.Mutex
-	path string
+	f *wal.File
+}
+
+// FileJournalOption configures NewFileJournal.
+type FileJournalOption func(*wal.FileOptions)
+
+// WithSyncEvery batches the journal's fsync across appends (group
+// commit): every nth Append syncs, carrying the n-1 before it. The
+// default (and any n < 2) syncs every append, as the journal always has.
+func WithSyncEvery(n int) FileJournalOption {
+	return func(o *wal.FileOptions) { o.SyncEvery = n }
 }
 
 // NewFileJournal opens (creating if needed) a journal at path.
-func NewFileJournal(path string) (*FileJournal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+func NewFileJournal(path string, opts ...FileJournalOption) (*FileJournal, error) {
+	o := wal.FileOptions{Framing: wal.Lines{}}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	f, err := wal.OpenFile(path, o)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	f.Close()
-	return &FileJournal{path: path}, nil
+	return &FileJournal{f: f}, nil
 }
 
-// Append writes one JSON line and syncs it.
+// Append writes one JSON line; fsync follows the WithSyncEvery policy
+// (default: every append).
 func (j *FileJournal) Append(r Record) error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
-	if err != nil {
-		return fmt.Errorf("journal: %w", err)
-	}
-	defer f.Close()
 	enc, err := json.Marshal(r)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	if _, err := f.Write(append(enc, '\n')); err != nil {
+	if err := j.f.Append(enc); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	return f.Sync()
+	return nil
 }
 
 // Records reads back every journal line. A final line without its
@@ -96,39 +114,91 @@ func (j *FileJournal) Append(r Record) error {
 // else (a terminated line that does not parse) still fails loudly — that
 // is not a crash artifact, the file was damaged.
 func (j *FileJournal) Records() ([]Record, error) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	data, err := os.ReadFile(j.path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil
-		}
-		return nil, fmt.Errorf("journal: %w", err)
-	}
-	valid := len(data) // bytes covered by newline-terminated lines
-	if i := bytes.LastIndexByte(data, '\n'); i < 0 {
-		valid = 0
-	} else {
-		valid = i + 1
-	}
 	var out []Record
-	for rest := data[:valid]; len(rest) > 0; {
-		nl := bytes.IndexByte(rest, '\n')
-		line := rest[:nl]
-		rest = rest[nl+1:]
+	err := j.f.Replay(func(line []byte) error {
 		if len(line) == 0 {
-			continue
+			return nil
 		}
 		var r Record
 		if err := json.Unmarshal(line, &r); err != nil {
-			return nil, fmt.Errorf("journal: corrupt record: %w", err)
+			return fmt.Errorf("journal: corrupt record: %w", err)
 		}
 		out = append(out, r)
-	}
-	if valid < len(data) {
-		if err := os.Truncate(j.path, int64(valid)); err != nil {
-			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
+
+// Sync flushes any fsync a WithSyncEvery policy is still holding back.
+func (j *FileJournal) Sync() error { return j.f.Sync() }
+
+// Close syncs pending appends and releases the journal's file handle.
+func (j *FileJournal) Close() error { return j.f.Close() }
+
+// WALJournal stores the subscription base in a segmented, checkpointed
+// wal.Log: binary CRC-framed records, rotation, and compaction of
+// everything a checkpoint covers. The checkpoint snapshot is the JSON
+// array of live records; Records returns snapshot + tail in order, so
+// Manager.Recover replays it like any other journal.
+type WALJournal struct {
+	l *wal.Log
+}
+
+// NewWALJournal wraps an opened wal.Log as a Journal.
+func NewWALJournal(l *wal.Log) *WALJournal { return &WALJournal{l: l} }
+
+// Append durably logs one record.
+func (j *WALJournal) Append(r Record) error {
+	enc, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.l.Append(enc); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Records returns the latest checkpoint's live records followed by every
+// record appended after it.
+func (j *WALJournal) Records() ([]Record, error) {
+	var out []Record
+	err := j.l.Recover(
+		func(snap []byte) error {
+			if err := json.Unmarshal(snap, &out); err != nil {
+				return fmt.Errorf("journal: corrupt checkpoint: %w", err)
+			}
+			return nil
+		},
+		func(payload []byte) error {
+			var r Record
+			if err := json.Unmarshal(payload, &r); err != nil {
+				return fmt.Errorf("journal: corrupt record: %w", err)
+			}
+			out = append(out, r)
+			return nil
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Compact checkpoints the journal: live becomes the snapshot and every
+// logged record it covers is truncated away.
+func (j *WALJournal) Compact(live []Record) error {
+	return j.l.Checkpoint(func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		if live == nil {
+			live = []Record{}
+		}
+		return enc.Encode(live)
+	})
+}
+
+// Close releases the underlying log.
+func (j *WALJournal) Close() error { return j.l.Close() }

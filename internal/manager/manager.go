@@ -11,6 +11,7 @@ package manager
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -648,7 +649,10 @@ func (m *Manager) Stats() Stats {
 }
 
 // Recover replays a journal, restoring the subscription base. Call it on
-// an empty manager before processing documents.
+// an empty manager before processing documents. Recover is idempotent: a
+// subscription already registered under its journalled name is skipped,
+// so replaying the same journal twice (or a checkpoint that overlaps its
+// tail) cannot duplicate the base.
 func (m *Manager) Recover(j Journal) error {
 	records, err := j.Records()
 	if err != nil {
@@ -661,7 +665,9 @@ func (m *Manager) Recover(j Journal) error {
 			if err != nil {
 				return fmt.Errorf("manager: recovering %q: %w", r.Name, err)
 			}
-			if err := m.register(r.Source, sub, false); err != nil {
+			if err := m.register(r.Source, sub, false); errors.Is(err, ErrDuplicateSubscription) {
+				continue
+			} else if err != nil {
 				return fmt.Errorf("manager: recovering %q: %w", r.Name, err)
 			}
 		case "unsubscribe":
@@ -675,6 +681,38 @@ func (m *Manager) Recover(j Journal) error {
 			}
 			m.mu.Unlock()
 		}
+	}
+	return nil
+}
+
+// Checkpoint compacts the journal down to the live subscription base:
+// one subscribe record per registered subscription, with every
+// journalled subscribe/unsubscribe before it truncated away. It is a
+// no-op when the journal does not implement Compacter. Held under m.mu,
+// so the snapshot is consistent with the append order register and
+// Unsubscribe maintain.
+func (m *Manager) Checkpoint() error {
+	c, ok := m.journal.(Compacter)
+	if !ok {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	live := make([]Record, 0, len(m.subs))
+	for name, rs := range m.subs {
+		if rs.src == "" {
+			// Registered via SubscribeParsed: never journalled, so it has
+			// no source text to recover from — leave it out, as Append did.
+			continue
+		}
+		live = append(live, Record{Op: "subscribe", Name: name, Source: rs.src})
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].Name < live[j].Name })
+	// Compacting under m.mu mirrors Append's ordering guarantee; see
+	// register.
+	//xyvet:ignore lockcheck
+	if err := c.Compact(live); err != nil {
+		return fmt.Errorf("manager: checkpoint: %w", err)
 	}
 	return nil
 }

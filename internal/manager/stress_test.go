@@ -51,6 +51,18 @@ func TestManagerStress(t *testing.T) {
 		Trigger:  eng,
 	})
 
+	// One subscription registered before any goroutine starts: without it
+	// the scheduler can legally drain every push before the first
+	// subscriber registers, and the delivered-count assertion flakes.
+	if _, err := mgr.Subscribe(`subscription Stress_warm
+monitoring
+select <UpdatedPage url=URL/>
+where URL extends "http://stress0.example/" and modified self
+report when immediate
+`); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
 	var wg sync.WaitGroup
 	done := make(chan struct{})
 

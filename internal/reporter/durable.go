@@ -1,0 +1,328 @@
+package reporter
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"xymon/internal/wal"
+	"xymon/internal/xmldom"
+)
+
+// The Reporter's durable state is the part of the paper's delivery
+// semantics a restart must not erase: the notification stream gathered
+// since the last report (the paper's Reporter explicitly accumulates it
+// between evaluations), and every report that was built but whose
+// delivery was not yet acknowledged. Both journal their mutations into a
+// wal.Log as they happen:
+//
+//	notif  — a notification entered a subscription's buffer
+//	fired  — a report was built; its buffer emptied into it
+//	done   — the sink accepted the report
+//	dead   — the report exhausted its retry budget (dead-lettered)
+//	lost   — delivery failed with retrying disabled; intentionally dropped
+//
+// Recovery replays checkpoint + tail: buffered notifications come back
+// flagged pending (the next Tick reports them — re-evaluating the exact
+// when clause could only delay them further), and every report that
+// fired without a done/dead/lost record re-enters the retry queue. A
+// crash between the sink accepting a report and the done record landing
+// therefore redelivers it: that duplicate is the at-least-once contract,
+// never a loss.
+type walRecord struct {
+	T   string `json:"t"`
+	ID  uint64 `json:"id,omitempty"`
+	Sub string `json:"sub,omitempty"`
+	// Origin is the subscription whose buffer a fired report consumed —
+	// it differs from Sub on the copies delivered to virtual followers.
+	Origin   string    `json:"origin,omitempty"`
+	Label    string    `json:"label,omitempty"`
+	XML      string    `json:"xml,omitempty"`
+	Time     time.Time `json:"time,omitempty"`
+	Count    int       `json:"count,omitempty"`
+	Attempts int       `json:"attempts,omitempty"`
+	Reason   string    `json:"reason,omitempty"`
+}
+
+// walSnapshot is the checkpoint payload: the durable state at the
+// checkpoint's boundary, replacing every journal record before it.
+type walSnapshot struct {
+	NextID      uint64                 `json:"next_id"`
+	Buffers     map[string][]walRecord `json:"buffers,omitempty"`
+	Outstanding []walRecord            `json:"outstanding,omitempty"`
+	Dead        []walRecord            `json:"dead,omitempty"`
+	Evicted     uint64                 `json:"evicted,omitempty"`
+}
+
+// WithWAL journals the Reporter's durable state into l. The caller opens
+// the log, calls Recover once registration is done, and closes it after
+// the Reporter stops.
+func WithWAL(l *wal.Log) Option {
+	return func(r *Reporter) { r.wal = l }
+}
+
+// journal appends one record; journaling failures degrade (the system
+// keeps running on its in-memory state) but are counted.
+func (r *Reporter) journal(rec walRecord) {
+	if r.wal == nil {
+		return
+	}
+	enc, err := json.Marshal(rec)
+	if err == nil {
+		err = r.wal.Append(enc)
+	}
+	if err != nil {
+		r.walErrors.Add(1)
+	}
+}
+
+// JournalErrors counts journal appends that failed (state kept in memory
+// only — durability degraded, operation continued).
+func (r *Reporter) JournalErrors() uint64 { return r.walErrors.Load() }
+
+// noteFired journals a built report and tracks it as outstanding until a
+// delivery outcome lands. Called with the stripe lock held; rt.mu nests
+// inside it (stripe → rt.mu → wal everywhere).
+func (r *Reporter) noteFired(rep *Report, origin string, now time.Time) {
+	if r.wal == nil {
+		return
+	}
+	rep.walID = r.nextID.Add(1)
+	rec := walRecord{
+		T: "fired", ID: rep.walID, Sub: rep.Subscription, Origin: origin,
+		XML: rep.Doc.XML(), Time: now, Count: rep.Notifications,
+	}
+	rt := &r.retry
+	rt.mu.Lock()
+	r.journal(rec)
+	rt.outstanding[rep.walID] = rec
+	rt.mu.Unlock()
+}
+
+// noteDelivered resolves an outstanding report. Journaling and removal
+// happen under rt.mu so a concurrent Checkpoint sees either both or
+// neither — either the done record survives in the tail, or the report
+// is already gone from the snapshot.
+func (r *Reporter) noteDelivered(rep *Report) {
+	if r.wal == nil || rep.walID == 0 {
+		return
+	}
+	rt := &r.retry
+	rt.mu.Lock()
+	r.journal(walRecord{T: "done", ID: rep.walID})
+	delete(rt.outstanding, rep.walID)
+	rt.mu.Unlock()
+}
+
+// resolveLocked journals a terminal non-delivery outcome ("dead" or
+// "lost") for an outstanding report. Caller holds rt.mu.
+func (r *Reporter) resolveLocked(rep *Report, t, reason string, attempts int, now time.Time) {
+	if r.wal == nil || rep.walID == 0 {
+		return
+	}
+	rec := walRecord{
+		T: t, ID: rep.walID, Sub: rep.Subscription, Count: rep.Notifications,
+		Reason: reason, Attempts: attempts, Time: now,
+	}
+	if rep.Doc != nil {
+		rec.XML = rep.Doc.XML()
+	}
+	r.journal(rec)
+	delete(r.retry.outstanding, rep.walID)
+}
+
+// parseReportDoc rebuilds a report document from its journaled XML.
+func parseReportDoc(s string) *xmldom.Node {
+	if s == "" {
+		return nil
+	}
+	d, err := xmldom.ParseString(s)
+	if err != nil || d == nil {
+		return nil
+	}
+	return d.Root
+}
+
+// Recover rebuilds the Reporter's durable state from its WAL. Call it
+// after every subscription is Registered (recovery drops the buffers of
+// subscriptions that no longer exist) and before the first Notify or
+// Tick. Recovered buffers are marked pending, so the next Tick reports
+// them; recovered outstanding reports re-enter the retry queue due
+// immediately.
+func (r *Reporter) Recover() error {
+	if r.wal == nil {
+		return nil
+	}
+	buffers := make(map[string][]walRecord)
+	outstanding := make(map[uint64]walRecord)
+	var order []uint64
+	var dead []walRecord
+	var evicted, nextID uint64
+	err := r.wal.Recover(
+		func(snap []byte) error {
+			var s walSnapshot
+			if err := json.Unmarshal(snap, &s); err != nil {
+				return fmt.Errorf("reporter: corrupt checkpoint: %w", err)
+			}
+			nextID = s.NextID
+			for sub, recs := range s.Buffers {
+				buffers[sub] = recs
+			}
+			for _, rec := range s.Outstanding {
+				outstanding[rec.ID] = rec
+				order = append(order, rec.ID)
+			}
+			dead = append(dead, s.Dead...)
+			evicted = s.Evicted
+			return nil
+		},
+		func(payload []byte) error {
+			var rec walRecord
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				return fmt.Errorf("reporter: corrupt journal record: %w", err)
+			}
+			switch rec.T {
+			case "notif":
+				buffers[rec.Sub] = append(buffers[rec.Sub], rec)
+			case "fired":
+				if rec.ID > nextID {
+					nextID = rec.ID
+				}
+				outstanding[rec.ID] = rec
+				order = append(order, rec.ID)
+				// Building the report consumed the origin's buffer.
+				delete(buffers, rec.Origin)
+			case "done", "lost":
+				delete(outstanding, rec.ID)
+			case "dead":
+				delete(outstanding, rec.ID)
+				dead = append(dead, rec)
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		return err
+	}
+
+	now := r.clock()
+	for sub, recs := range buffers {
+		if len(recs) == 0 {
+			continue
+		}
+		s := r.stripeFor(sub)
+		s.mu.Lock()
+		if st, ok := s.subs[sub]; ok {
+			st.buffer = st.buffer[:0]
+			clear(st.labelCount)
+			for _, rec := range recs {
+				st.buffer = append(st.buffer, Notification{
+					Subscription: sub, Label: rec.Label,
+					Element: parseReportDoc(rec.XML), Time: rec.Time,
+				})
+				st.labelCount[rec.Label]++
+			}
+			// The when clause held (or may have held) before the crash;
+			// pending makes the next Tick report rather than re-derive.
+			st.pending = true
+		}
+		s.mu.Unlock()
+	}
+
+	r.nextID.Store(nextID)
+	r.deadLettered.Add(uint64(len(dead)))
+	rt := &r.retry
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, rec := range dead {
+		rt.dead = append(rt.dead, DeadLetter{
+			Report: &Report{
+				Subscription: rec.Sub, Doc: parseReportDoc(rec.XML),
+				Time: rec.Time, Notifications: rec.Count, walID: rec.ID,
+			},
+			Attempts: rec.Attempts, Reason: rec.Reason, Time: rec.Time,
+		})
+	}
+	r.evictDeadLocked()
+	r.evicted.Add(evicted)
+	for _, id := range order {
+		rec, ok := outstanding[id]
+		if !ok {
+			continue
+		}
+		rt.outstanding[id] = rec
+		rt.queue = append(rt.queue, &retryEntry{
+			rep: &Report{
+				Subscription: rec.Sub, Doc: parseReportDoc(rec.XML),
+				Time: rec.Time, Notifications: rec.Count, walID: rec.ID,
+			},
+			attempts: rec.Attempts,
+			nextTry:  now,
+		})
+	}
+	return nil
+}
+
+// Checkpoint snapshots the durable state and compacts the journal it
+// covers. It locks every stripe plus the retry state, so the snapshot is
+// a consistent cut: no notification, report, or outcome can land between
+// the snapshot and the checkpoint boundary.
+func (r *Reporter) Checkpoint() error {
+	if r.wal == nil {
+		return nil
+	}
+	for i := range r.stripes {
+		r.stripes[i].mu.Lock()
+		defer r.stripes[i].mu.Unlock()
+	}
+	rt := &r.retry
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+
+	snap := walSnapshot{
+		NextID:  r.nextID.Load(),
+		Buffers: make(map[string][]walRecord),
+		Evicted: r.evicted.Load(),
+	}
+	for i := range r.stripes {
+		for sub, st := range r.stripes[i].subs {
+			if len(st.buffer) == 0 {
+				continue
+			}
+			recs := make([]walRecord, 0, len(st.buffer))
+			for _, n := range st.buffer {
+				rec := walRecord{T: "notif", Sub: sub, Label: n.Label, Time: n.Time}
+				if n.Element != nil {
+					rec.XML = n.Element.XML()
+				}
+				recs = append(recs, rec)
+			}
+			snap.Buffers[sub] = recs
+		}
+	}
+	for _, rec := range rt.outstanding {
+		snap.Outstanding = append(snap.Outstanding, rec)
+	}
+	sort.Slice(snap.Outstanding, func(i, j int) bool {
+		return snap.Outstanding[i].ID < snap.Outstanding[j].ID
+	})
+	for _, d := range rt.dead {
+		rec := walRecord{
+			T: "dead", ID: d.Report.walID, Sub: d.Report.Subscription,
+			Time: d.Report.Time, Count: d.Report.Notifications,
+			Attempts: d.Attempts, Reason: d.Reason,
+		}
+		if d.Report.Doc != nil {
+			rec.XML = d.Report.Doc.XML()
+		}
+		snap.Dead = append(snap.Dead, rec)
+	}
+	// All stripe locks and rt.mu are held across the checkpoint: nothing
+	// can append between the snapshot above and the boundary rotation.
+	//xyvet:ignore lockcheck
+	return r.wal.Checkpoint(func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(&snap)
+	})
+}

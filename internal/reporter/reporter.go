@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"xymon/internal/sublang"
+	"xymon/internal/wal"
 	"xymon/internal/xmldom"
 )
 
@@ -34,6 +35,10 @@ type Report struct {
 	Doc           *xmldom.Node
 	Time          time.Time
 	Notifications int
+
+	// walID identifies the report in the durability journal; 0 when the
+	// Reporter runs without a WAL.
+	walID uint64
 }
 
 // Delivery receives finished reports. The paper emails them; the default
@@ -91,10 +96,17 @@ type Reporter struct {
 	// queue drains on Tick.
 	retry retryState
 
+	// wal, when set, journals durable state (see durable.go); nextID
+	// numbers fired reports in it.
+	wal       *wal.Log
+	nextID    atomic.Uint64
+	walErrors atomic.Uint64
+
 	delivered    atomic.Uint64
 	failed       atomic.Uint64
 	retried      atomic.Uint64
 	deadLettered atomic.Uint64
+	evicted      atomic.Uint64
 }
 
 type archivedReport struct {
@@ -119,6 +131,8 @@ func New(sink Delivery, opts ...Option) *Reporter {
 			maxAttempts: 5,
 			base:        time.Minute,
 			max:         time.Hour,
+			maxDead:     DefaultDeadLetterCap,
+			outstanding: make(map[uint64]walRecord),
 		},
 	}
 	for i := range r.stripes {
@@ -261,6 +275,16 @@ func (r *Reporter) noteLocked(sub string, st *subState, n Notification, now time
 		// atmost N: stop registering new notifications until the next report.
 		st.dropped++
 		return nil
+	}
+	if r.wal != nil {
+		rec := walRecord{T: "notif", Sub: sub, Label: n.Label, Time: n.Time}
+		if n.Element != nil {
+			rec.XML = n.Element.XML()
+		}
+		// Journalled under the stripe lock so the log records
+		// notifications in the order the buffer gained them.
+		//xyvet:ignore lockcheck
+		r.journal(rec)
 	}
 	st.buffer = append(st.buffer, n)
 	st.labelCount[n.Label]++
@@ -405,6 +429,9 @@ func (r *Reporter) buildLocked(sub string, st *subState, now time.Time) []*Repor
 	for _, rcpt := range st.followers {
 		out = append(out, &Report{Subscription: rcpt, Doc: rep.Doc, Time: now, Notifications: count})
 	}
+	for _, rp := range out {
+		r.noteFired(rp, sub, now)
+	}
 	return out
 }
 
@@ -421,6 +448,7 @@ func (r *Reporter) deliver(reps []*Report) {
 			r.noteFailure(rep, 1, err, now)
 		} else {
 			r.delivered.Add(1)
+			r.noteDelivered(rep)
 		}
 	}
 }

@@ -36,8 +36,40 @@ type retryState struct {
 	queue       []*retryEntry
 	dead        []DeadLetter
 	maxAttempts int // total attempts per report; 0 disables retrying
+	maxDead     int // dead-letter cap; <= 0 is unbounded
 	base        time.Duration
 	max         time.Duration
+	// outstanding tracks reports journaled as fired whose delivery
+	// outcome has not landed yet; the WAL checkpoint snapshots it and
+	// recovery turns it back into retry-queue entries (see durable.go).
+	outstanding map[uint64]walRecord
+}
+
+// DefaultDeadLetterCap bounds the dead-letter queue: a sink that stays
+// down for days must not grow it without limit. Oldest letters are
+// evicted first; WithDeadLetterCap changes the bound.
+const DefaultDeadLetterCap = 1024
+
+// WithDeadLetterCap bounds the dead-letter queue to n letters, evicting
+// oldest-first past the cap (n <= 0 removes the bound). Evictions are
+// counted in RetryStats.
+func WithDeadLetterCap(n int) Option {
+	return func(r *Reporter) { r.retry.maxDead = n }
+}
+
+// evictDeadLocked enforces the dead-letter cap. Caller holds rt.mu.
+func (r *Reporter) evictDeadLocked() {
+	rt := &r.retry
+	if rt.maxDead <= 0 || len(rt.dead) <= rt.maxDead {
+		return
+	}
+	n := len(rt.dead) - rt.maxDead
+	copy(rt.dead, rt.dead[n:])
+	for i := len(rt.dead) - n; i < len(rt.dead); i++ {
+		rt.dead[i] = DeadLetter{} // release the evicted reports
+	}
+	rt.dead = rt.dead[:len(rt.dead)-n]
+	r.evicted.Add(uint64(n))
 }
 
 // WithRetryPolicy sets the delivery retry budget: maxAttempts total
@@ -78,7 +110,11 @@ func (r *Reporter) noteFailure(rep *Report, attempts int, err error, now time.Ti
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.maxAttempts == 0 {
-		return // retrying disabled
+		// Retrying disabled: the failure is counted and the report
+		// intentionally dropped — resolve it so recovery does not
+		// resurrect what this configuration chose to lose.
+		r.resolveLocked(rep, "lost", err.Error(), attempts, now)
+		return
 	}
 	if attempts >= rt.maxAttempts {
 		rt.dead = append(rt.dead, DeadLetter{
@@ -88,6 +124,8 @@ func (r *Reporter) noteFailure(rep *Report, attempts int, err error, now time.Ti
 			Time:     now,
 		})
 		r.deadLettered.Add(1)
+		r.resolveLocked(rep, "dead", err.Error(), attempts, now)
+		r.evictDeadLocked()
 		return
 	}
 	rt.queue = append(rt.queue, &retryEntry{
@@ -122,6 +160,7 @@ func (r *Reporter) drainRetries(now time.Time) {
 			r.noteFailure(e.rep, e.attempts+1, err, now)
 		} else {
 			r.delivered.Add(1)
+			r.noteDelivered(e.rep)
 		}
 	}
 }
@@ -140,8 +179,21 @@ func (r *Reporter) DeadLetters() []DeadLetter {
 	return append([]DeadLetter(nil), r.retry.dead...)
 }
 
-// RetryStats returns how many redelivery attempts were made and how many
-// reports were dead-lettered.
-func (r *Reporter) RetryStats() (retried, deadLettered uint64) {
-	return r.retried.Load(), r.deadLettered.Load()
+// RetryStats counts the Reporter's redelivery activity.
+type RetryStats struct {
+	// Retried counts redelivery attempts.
+	Retried uint64
+	// DeadLettered counts reports that exhausted their attempt budget.
+	DeadLettered uint64
+	// Evicted counts dead letters dropped oldest-first by the cap.
+	Evicted uint64
+}
+
+// RetryStats snapshots the redelivery counters.
+func (r *Reporter) RetryStats() RetryStats {
+	return RetryStats{
+		Retried:      r.retried.Load(),
+		DeadLettered: r.deadLettered.Load(),
+		Evicted:      r.evicted.Load(),
+	}
 }

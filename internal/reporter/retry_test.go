@@ -59,8 +59,8 @@ func TestRetryQueueRedelivers(t *testing.T) {
 	if r.RetryPending() != 0 || len(r.DeadLetters()) != 0 {
 		t.Errorf("pending=%d dead=%d after successful retry", r.RetryPending(), len(r.DeadLetters()))
 	}
-	if retried, dead := r.RetryStats(); retried != 1 || dead != 0 {
-		t.Errorf("RetryStats = (%d, %d), want (1, 0)", retried, dead)
+	if st := r.RetryStats(); st.Retried != 1 || st.DeadLettered != 0 {
+		t.Errorf("RetryStats = (%d, %d), want (1, 0)", st.Retried, st.DeadLettered)
 	}
 	if len(sink.sent) != 1 || sink.sent[0].Subscription != "S" {
 		t.Errorf("sink got %v", sink.sent)
@@ -90,8 +90,8 @@ func TestDeadLetterAfterBudget(t *testing.T) {
 	if dl.Attempts != 3 || dl.Report.Subscription != "S" || !strings.Contains(dl.Reason, "spool full") {
 		t.Errorf("dead letter = %+v", dl)
 	}
-	if _, deadN := r.RetryStats(); deadN != 1 {
-		t.Errorf("deadLettered = %d, want 1", deadN)
+	if st := r.RetryStats(); st.DeadLettered != 1 {
+		t.Errorf("deadLettered = %d, want 1", st.DeadLettered)
 	}
 	if _, f := r.Stats(); f != 3 {
 		t.Errorf("failed = %d, want 3 (one per attempt)", f)

@@ -1,0 +1,132 @@
+package trigger
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"xymon/internal/wal"
+)
+
+// The engine's durable state is one mark per continuous query: when it
+// last evaluated. Without it a restart resets every schedule — each
+// periodic query re-fires immediately (Register treats it as never run)
+// — while with a stale clock it could equally skip a due one. Marks are
+// journaled as they happen and applied at Register time, so recovery
+// must run before the subscription base is re-registered.
+//
+// The previous result of a delta query is deliberately not persisted:
+// after a restart the first evaluation emits the full result once and
+// deltas resume from there — a duplicate, never a silent gap, matching
+// the at-least-once discipline of the rest of the pipeline.
+
+// markRecord is one journal entry: query (sub, name) evaluated at Last.
+type markRecord struct {
+	Sub   string    `json:"sub"`
+	Query string    `json:"query"`
+	Last  time.Time `json:"last"`
+}
+
+type markKey struct{ sub, query string }
+
+// WithWAL journals evaluation marks into l. Open the log, call Recover
+// before re-registering subscriptions, and Close it when the engine
+// stops.
+func WithWAL(l *wal.Log) Option {
+	return func(e *Engine) {
+		e.wal = l
+		// Track marks from the start, so a Checkpoint before (or
+		// without) Recover still snapshots every journaled evaluation.
+		if e.marks == nil {
+			e.marks = make(map[markKey]time.Time)
+		}
+	}
+}
+
+// noteEvaluatedLocked journals one evaluation mark. Caller holds e.mu.
+func (e *Engine) noteEvaluatedLocked(r *registered, now time.Time) {
+	if e.marks != nil {
+		e.marks[markKey{r.sub, r.cq.Name}] = now
+	}
+	if e.wal == nil {
+		return
+	}
+	enc, err := json.Marshal(markRecord{Sub: r.sub, Query: r.cq.Name, Last: now})
+	if err != nil {
+		return
+	}
+	// Journalled under e.mu so marks land in evaluation order; the WAL
+	// has its own innermost lock and never calls back.
+	//xyvet:ignore lockcheck
+	_ = e.wal.Append(enc)
+}
+
+// Recover loads the evaluation marks from the WAL. Call it before
+// Register runs for the recovered subscription base: each Register
+// consults the marks, so a recovered periodic query resumes its schedule
+// instead of re-firing immediately, and one whose period elapsed during
+// the outage fires on the next Tick.
+func (e *Engine) Recover() error {
+	if e.wal == nil {
+		return nil
+	}
+	marks := make(map[markKey]time.Time)
+	apply := func(payload []byte) error {
+		var rec markRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("trigger: corrupt mark: %w", err)
+		}
+		// Later records win: the journal is in evaluation order.
+		marks[markKey{rec.Sub, rec.Query}] = rec.Last
+		return nil
+	}
+	err := e.wal.Recover(
+		func(snap []byte) error {
+			var recs []markRecord
+			if err := json.Unmarshal(snap, &recs); err != nil {
+				return fmt.Errorf("trigger: corrupt checkpoint: %w", err)
+			}
+			for _, rec := range recs {
+				marks[markKey{rec.Sub, rec.Query}] = rec.Last
+			}
+			return nil
+		},
+		apply,
+	)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.marks = marks
+	// Already-registered queries pick their mark up retroactively, so
+	// Recover-after-Register still converges on the same state.
+	for _, r := range e.queries {
+		if last, ok := marks[markKey{r.sub, r.cq.Name}]; ok && !r.hasRun {
+			r.lastRun = last
+			r.hasRun = true
+		}
+	}
+	return nil
+}
+
+// Checkpoint snapshots the current marks and compacts the journal they
+// cover.
+func (e *Engine) Checkpoint() error {
+	if e.wal == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	recs := make([]markRecord, 0, len(e.marks))
+	for k, last := range e.marks {
+		recs = append(recs, markRecord{Sub: k.sub, Query: k.query, Last: last})
+	}
+	// e.mu is held across the checkpoint so no evaluation can journal a
+	// mark between the snapshot and the boundary.
+	//xyvet:ignore lockcheck
+	return e.wal.Checkpoint(func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(recs)
+	})
+}

@@ -1,0 +1,138 @@
+package trigger
+
+import (
+	"testing"
+	"time"
+
+	"xymon/internal/sublang"
+	"xymon/internal/wal"
+	"xymon/internal/xmldom"
+)
+
+// durableEngine builds a WAL-backed engine on a virtual clock.
+func durableEngine(t *testing.T, dir string, c *clock, results *[]Result) *Engine {
+	t.Helper()
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return New(
+		func() []*xmldom.Node { return nil },
+		func(r Result) { *results = append(*results, r) },
+		WithClock(c.now), WithWAL(l),
+	)
+}
+
+func weeklyCQ(name string) *sublang.ContinuousQuery {
+	return &sublang.ContinuousQuery{Name: name, When: sublang.TriggerSpec{Freq: sublang.Weekly}}
+}
+
+// TestMarksPreventRestartRefire pins the tentpole's trigger layer: after
+// a restart, a periodic query that ran recently does NOT re-fire at an
+// unadvanced clock, and fires again once its period truly elapses.
+func TestMarksPreventRestartRefire(t *testing.T) {
+	dir := t.TempDir()
+	c := &clock{t: time.Date(2001, 5, 21, 0, 0, 0, 0, time.UTC)}
+	var res1 []Result
+	e1 := durableEngine(t, dir, c, &res1)
+	e1.Register("Sub", weeklyCQ("Q"))
+	e1.Tick()
+	if len(res1) != 1 {
+		t.Fatalf("first evaluation: %d results", len(res1))
+	}
+
+	// Restart two days later: recover marks BEFORE re-registering.
+	c.advance(48 * time.Hour)
+	var res2 []Result
+	e2 := durableEngine(t, dir, c, &res2)
+	if err := e2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	e2.Register("Sub", weeklyCQ("Q"))
+	e2.Tick()
+	if len(res2) != 0 {
+		t.Fatalf("weekly query re-fired 2 days after its last run: %d results", len(res2))
+	}
+	// Five more days: the week since the persisted mark has elapsed.
+	c.advance(5 * 24 * time.Hour)
+	e2.Tick()
+	if len(res2) != 1 {
+		t.Fatalf("due query did not fire after its period: %d results", len(res2))
+	}
+}
+
+// TestMarksDoNotSkipDueQuery: a restart after the period elapsed fires
+// on the first Tick — persistence must not push the schedule forward.
+func TestMarksDoNotSkipDueQuery(t *testing.T) {
+	dir := t.TempDir()
+	c := &clock{t: time.Date(2001, 5, 21, 0, 0, 0, 0, time.UTC)}
+	var res1 []Result
+	e1 := durableEngine(t, dir, c, &res1)
+	e1.Register("Sub", weeklyCQ("Q"))
+	e1.Tick()
+
+	// The outage outlasts the period.
+	c.advance(9 * 24 * time.Hour)
+	var res2 []Result
+	e2 := durableEngine(t, dir, c, &res2)
+	if err := e2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	e2.Register("Sub", weeklyCQ("Q"))
+	e2.Tick()
+	if len(res2) != 1 {
+		t.Fatalf("overdue query skipped after restart: %d results", len(res2))
+	}
+}
+
+// TestMarksCheckpointCompacts: marks survive via the snapshot once the
+// journal is compacted.
+func TestMarksCheckpointCompacts(t *testing.T) {
+	dir := t.TempDir()
+	c := &clock{t: time.Date(2001, 5, 21, 0, 0, 0, 0, time.UTC)}
+	var res1 []Result
+	e1 := durableEngine(t, dir, c, &res1)
+	e1.Register("A", weeklyCQ("QA"))
+	e1.Register("B", weeklyCQ("QB"))
+	e1.Tick()
+	if err := e1.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// A post-checkpoint evaluation lands in the tail.
+	c.advance(8 * 24 * time.Hour)
+	e1.Tick()
+
+	c.advance(time.Hour)
+	var res2 []Result
+	e2 := durableEngine(t, dir, c, &res2)
+	if err := e2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	e2.Register("A", weeklyCQ("QA"))
+	e2.Register("B", weeklyCQ("QB"))
+	e2.Tick()
+	if len(res2) != 0 {
+		t.Fatalf("freshly-evaluated queries re-fired after checkpointed restart: %+v", res2)
+	}
+}
+
+// TestUnregisterDropsMark: a re-registration under a recycled name must
+// not inherit the dead subscription's schedule.
+func TestUnregisterDropsMark(t *testing.T) {
+	dir := t.TempDir()
+	c := &clock{t: time.Date(2001, 5, 21, 0, 0, 0, 0, time.UTC)}
+	var res []Result
+	e := durableEngine(t, dir, c, &res)
+	e.Register("Sub", weeklyCQ("Q"))
+	e.Tick()
+	e.Unregister("Sub")
+	e.Register("Sub", weeklyCQ("Q"))
+	c.advance(time.Hour)
+	e.Tick()
+	// The fresh registration has never run: it fires immediately, as an
+	// unmarked query always has.
+	if len(res) != 2 {
+		t.Fatalf("re-registered query inherited the dropped mark: %d results", len(res))
+	}
+}

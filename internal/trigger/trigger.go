@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"xymon/internal/sublang"
+	"xymon/internal/wal"
 	"xymon/internal/xmldom"
 	"xymon/internal/xydiff"
 )
@@ -48,6 +49,11 @@ type Engine struct {
 	sink    Sink
 	clock   func() time.Time
 
+	// wal journals per-query evaluation marks; marks carries them from
+	// Recover to Register (see durable.go).
+	wal   *wal.Log
+	marks map[markKey]time.Time
+
 	evaluations uint64
 }
 
@@ -69,12 +75,19 @@ func New(source Source, sink Sink, opts ...Option) *Engine {
 	return e
 }
 
-// Register adds a continuous query owned by subscription sub.
+// Register adds a continuous query owned by subscription sub. A
+// recovered evaluation mark (see Recover) restores the query's schedule:
+// it resumes from its persisted last run instead of starting fresh.
 func (e *Engine) Register(sub string, cq *sublang.ContinuousQuery) {
 	now := e.clock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.queries = append(e.queries, &registered{sub: sub, cq: cq, lastRun: now})
+	r := &registered{sub: sub, cq: cq, lastRun: now}
+	if last, ok := e.marks[markKey{sub, cq.Name}]; ok {
+		r.lastRun = last
+		r.hasRun = true
+	}
+	e.queries = append(e.queries, r)
 }
 
 // Unregister removes every continuous query of a subscription.
@@ -85,6 +98,10 @@ func (e *Engine) Unregister(sub string) {
 	for _, r := range e.queries {
 		if r.sub != sub {
 			keep = append(keep, r)
+		} else if e.marks != nil {
+			// Drop the mark: a later re-registration under the same name
+			// must not inherit a dead subscription's schedule.
+			delete(e.marks, markKey{r.sub, r.cq.Name})
 		}
 	}
 	e.queries = keep
@@ -145,6 +162,7 @@ func (e *Engine) evaluate(r *registered, now time.Time) {
 
 	e.mu.Lock()
 	r.lastRun = now
+	e.noteEvaluatedLocked(r, now)
 	e.evaluations++
 	out := result
 	if r.cq.Delta {

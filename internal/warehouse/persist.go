@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"xymon/internal/wal"
 	"xymon/internal/xmldom"
 )
 
@@ -85,11 +86,17 @@ func (s *Store) Save(dir string) error {
 	if err != nil {
 		return fmt.Errorf("warehouse: %w", err)
 	}
+	// The manifest commits the snapshot, so it installs atomically and
+	// durably: temp file → fsync → rename → parent-dir fsync. Without the
+	// directory sync a crash right after Save can lose the rename itself.
 	tmp := filepath.Join(dir, "manifest.json.tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	if err := wal.WriteFileSync(tmp, raw, 0o644); err != nil {
 		return fmt.Errorf("warehouse: %w", err)
 	}
-	return os.Rename(tmp, filepath.Join(dir, "manifest.json"))
+	if err := os.Rename(tmp, filepath.Join(dir, "manifest.json")); err != nil {
+		return fmt.Errorf("warehouse: %w", err)
+	}
+	return wal.SyncDir(dir)
 }
 
 // Load restores a snapshot written by Save into an empty store. Loading

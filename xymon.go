@@ -25,6 +25,7 @@ package xymon
 
 import (
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -32,11 +33,13 @@ import (
 	"xymon/internal/alerter"
 	"xymon/internal/core"
 	"xymon/internal/crawler"
+	"xymon/internal/faults"
 	"xymon/internal/manager"
 	"xymon/internal/reporter"
 	"xymon/internal/semantic"
 	"xymon/internal/sublang"
 	"xymon/internal/trigger"
+	"xymon/internal/wal"
 	"xymon/internal/warehouse"
 	"xymon/internal/webgen"
 	"xymon/internal/xmldom"
@@ -72,8 +75,20 @@ type Options struct {
 	// Delivery receives reports; nil discards them.
 	Delivery Delivery
 	// JournalPath persists the subscription base to a JSON-lines file for
-	// recovery; empty keeps it in memory only.
+	// recovery; empty keeps it in memory only. DurableDir supersedes it.
 	JournalPath string
+	// DurableDir enables the crash-safe durability layer: three
+	// write-ahead logs under this directory persist the subscription base
+	// (subs/), the Reporter's notification buffers and undelivered
+	// reports (reporter/), and the Trigger Engine's evaluation marks
+	// (trigger/). New recovers all three before returning, Checkpoint
+	// compacts them, and Close releases them.
+	DurableDir string
+	// Faults threads a fault injector into the durability layer: rules
+	// armed at the faults.PointWAL* points fire inside WAL appends and
+	// checkpoint installation (the crash harness's kill switch). Nil
+	// injects nothing.
+	Faults *faults.Injector
 	// TriePrefixes selects the trie structure for `URL extends` patterns
 	// instead of the default hash structure (the Section 6.2 ablation).
 	TriePrefixes bool
@@ -104,6 +119,8 @@ type System struct {
 	Classifier *semantic.Classifier
 	clock      func() time.Time
 	dataDir    string
+	// closers releases the durability layer (journal + WAL logs).
+	closers []io.Closer
 }
 
 // New assembles a System.
@@ -118,26 +135,66 @@ func New(opts Options) (*System, error) {
 		s.Classifier.AddDomain(name, tags...)
 	}
 	s.Store = warehouse.NewStore(warehouse.WithClock(clock))
-	s.Reporter = reporter.New(opts.Delivery, reporter.WithClock(clock))
+
+	// The durability layer: one WAL per stateful module, all consulting
+	// the same fault injector (the hook reports the log's durability
+	// points under the wal.Op names, which double as faults.Point names).
+	fail := func(err error) (*System, error) {
+		_ = s.Close() // best-effort release; the construction error wins
+		return nil, err
+	}
+	var hook wal.Hook
+	if opts.Faults != nil {
+		in := opts.Faults
+		hook = func(op, key string) error { return in.Check(faults.Point(op), key) }
+	}
+	var walRep, walTrig *wal.Log
+	var journal manager.Journal
+	if opts.DurableDir != "" {
+		walSubs, err := wal.Open(filepath.Join(opts.DurableDir, "subs"), wal.Options{Hook: hook})
+		if err != nil {
+			return fail(err)
+		}
+		wj := manager.NewWALJournal(walSubs)
+		journal = wj
+		s.closers = append(s.closers, wj)
+		if walRep, err = wal.Open(filepath.Join(opts.DurableDir, "reporter"), wal.Options{Hook: hook}); err != nil {
+			return fail(err)
+		}
+		s.closers = append(s.closers, walRep)
+		if walTrig, err = wal.Open(filepath.Join(opts.DurableDir, "trigger"), wal.Options{Hook: hook}); err != nil {
+			return fail(err)
+		}
+		s.closers = append(s.closers, walTrig)
+	} else if opts.JournalPath != "" {
+		fj, err := manager.NewFileJournal(opts.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		journal = fj
+		s.closers = append(s.closers, fj)
+	}
+
+	repOpts := []reporter.Option{reporter.WithClock(clock)}
+	if walRep != nil {
+		repOpts = append(repOpts, reporter.WithWAL(walRep))
+	}
+	s.Reporter = reporter.New(opts.Delivery, repOpts...)
+	trigOpts := []trigger.Option{trigger.WithClock(clock)}
+	if walTrig != nil {
+		trigOpts = append(trigOpts, trigger.WithWAL(walTrig))
+	}
 	s.Trigger = trigger.New(s.Store.AllRoots, func(r trigger.Result) {
 		s.Reporter.Notify(reporter.Notification{
 			Subscription: r.Subscription, Label: r.Query, Element: r.Element, Time: r.Time,
 		})
-	}, trigger.WithClock(clock))
+	}, trigOpts...)
 	var prefixes alerter.PrefixIndex
 	if opts.TriePrefixes {
 		prefixes = alerter.NewTriePrefixIndex()
 	}
 	s.Pipeline = alerter.NewPipeline(prefixes)
 	s.Matcher = core.NewMatcher()
-	var journal manager.Journal
-	if opts.JournalPath != "" {
-		fj, err := manager.NewFileJournal(opts.JournalPath)
-		if err != nil {
-			return nil, err
-		}
-		journal = fj
-	}
 	s.Manager = manager.New(manager.Config{
 		Matcher:     s.Matcher,
 		Pipeline:    s.Pipeline,
@@ -148,9 +205,20 @@ func New(opts Options) (*System, error) {
 		MaxCost:     opts.MaxCost,
 		InhibitRate: opts.InhibitRate,
 	})
-	if opts.JournalPath != "" {
+	if journal != nil {
+		// Recovery order matters: trigger marks first (Register consults
+		// them as the subscription base comes back), then the base itself,
+		// then the Reporter (its recovery drops the buffers of
+		// subscriptions that no longer exist, so registration must be
+		// done).
+		if err := s.Trigger.Recover(); err != nil {
+			return fail(err)
+		}
 		if err := s.Manager.Recover(journal); err != nil {
-			return nil, err
+			return fail(err)
+		}
+		if err := s.Reporter.Recover(); err != nil {
+			return fail(err)
 		}
 	}
 	s.Crawler = crawler.New(s.Store, func(d *alerter.Doc) { s.Manager.ProcessDoc(d) }, clock)
@@ -175,6 +243,33 @@ func (s *System) SaveWarehouse(dir string) error {
 		return errors.New("xymon: no data directory configured")
 	}
 	return s.Store.Save(dir)
+}
+
+// Checkpoint compacts the durability layer: each module snapshots its
+// state (live subscription base, buffered notifications plus undelivered
+// reports, evaluation marks) and truncates the journal records the
+// snapshot covers. A no-op without Options.DurableDir.
+func (s *System) Checkpoint() error {
+	if err := s.Manager.Checkpoint(); err != nil {
+		return err
+	}
+	if err := s.Reporter.Checkpoint(); err != nil {
+		return err
+	}
+	return s.Trigger.Checkpoint()
+}
+
+// Close flushes and releases the durability layer. The System must not
+// be used afterwards; its on-disk state recovers on the next New.
+func (s *System) Close() error {
+	var first error
+	for _, c := range s.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.closers = nil
+	return first
 }
 
 // Subscribe registers a subscription written in the subscription language
