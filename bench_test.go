@@ -17,6 +17,7 @@ import (
 	"xymon/internal/sublang"
 	"xymon/internal/warehouse"
 	"xymon/internal/webgen"
+	"xymon/internal/xmldom"
 	"xymon/internal/xydiff"
 )
 
@@ -254,6 +255,69 @@ func BenchmarkXMLDiff(b *testing.B) {
 		if _, err := xydiff.Diff(o, n); err != nil {
 			b.Fatalf("Diff: %v", err)
 		}
+	}
+}
+
+// diffChain builds the version-pair workloads for BenchmarkDiff: a small
+// edit (adjacent versions), a child reorder (rotated catalog), and a
+// rewrite (distant versions, most products changed).
+func diffChain() (base, small, reorder, rewrite *xmldom.Document) {
+	site := webgen.NewSite(webgen.SiteSpec{Products: 100, Seed: 12})
+	url := site.XMLURLs()[0]
+	base = site.FetchXML(url, 5)
+	small = site.FetchXML(url, 6)
+	rewrite = site.FetchXML(url, 40)
+	reorder = base.Clone()
+	kids := reorder.Root.Children
+	rot := make([]*xmldom.Node, 0, len(kids))
+	rot = append(rot, kids[len(kids)/2:]...)
+	rot = append(rot, kids[:len(kids)/2]...)
+	reorder.Root.Children = rot
+	reorder.Root.PreOrder(func(n *xmldom.Node) bool { n.XID = 0; return true })
+	return base, small, reorder, rewrite
+}
+
+// BenchmarkDiff measures delta computation over webgen version chains with
+// the warehouse's hash-caching discipline: the old version keeps its
+// cached structural hash vector across iterations (as a committed version
+// does), while the new version's is invalidated every iteration — so each
+// iteration pays exactly what a commit pays, hashing the new tree plus the
+// anchor-based alignment.
+func BenchmarkDiff(b *testing.B) {
+	base, small, reorder, rewrite := diffChain()
+	for _, c := range []struct {
+		name string
+		new  *xmldom.Document
+	}{
+		{"smalledit", small},
+		{"reorder", reorder},
+		{"rewrite", rewrite},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.new.InvalidateHashes()
+				if _, err := xydiff.Diff(base, c.new); err != nil {
+					b.Fatalf("Diff: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClassify measures projecting a delta onto the new version — the
+// per-document cost the manager and XML alerter now share via
+// alerter.Doc.Classification instead of paying once per matched query.
+func BenchmarkClassify(b *testing.B) {
+	base, small, _, _ := diffChain()
+	delta, err := xydiff.Diff(base, small)
+	if err != nil {
+		b.Fatalf("Diff: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xydiff.Classify(small, delta)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"xymon/internal/reporter"
 	"xymon/internal/sublang"
 	"xymon/internal/webgen"
+	"xymon/internal/xydiff"
 )
 
 // benchResult is one row of the JSON benchmark trajectory: the numbers the
@@ -153,6 +154,29 @@ report when notifications.count > 1000000`, i, i%50, vocab[i%len(vocab)])
 		}).withDocsRate())
 	}
 
+	// Diff path: version-chain delta computation with the warehouse's
+	// hash-caching discipline (old version's vector cached, new tree
+	// hashed each iteration), and the once-per-doc classification.
+	{
+		site := webgen.NewSite(webgen.SiteSpec{Products: 100, Seed: 12})
+		url := site.XMLURLs()[0]
+		base := site.FetchXML(url, 5)
+		next := site.FetchXML(url, 6)
+		results = append(results, measure("diff/smalledit", 300*time.Millisecond, 256, func(i int) {
+			next.InvalidateHashes()
+			if _, err := xydiff.Diff(base, next); err != nil {
+				panic(err)
+			}
+		}).withDocsRate())
+		delta, err := xydiff.Diff(base, next)
+		if err != nil {
+			panic(err)
+		}
+		results = append(results, measure("diff/classify", 300*time.Millisecond, 256, func(i int) {
+			xydiff.Classify(next, delta)
+		}).withDocsRate())
+	}
+
 	// Reporter ingestion: per-notification locking vs the batched path.
 	{
 		rep := reporter.New(nil)
@@ -189,7 +213,15 @@ report when notifications.count > 1000000`, i, i%50, vocab[i%len(vocab)])
 		panic(err)
 	}
 	out = append(out, '\n')
+	// Never clobber an already-committed trajectory entry: a second run on
+	// the same day gets a numbered suffix.
 	path := fmt.Sprintf("BENCH_%s.json", rpt.Date)
+	for n := 2; ; n++ {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			break
+		}
+		path = fmt.Sprintf("BENCH_%s.%d.json", rpt.Date, n)
+	}
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "xybench: write %s: %v\n", path, err)
 		os.Exit(1)

@@ -59,6 +59,11 @@ var analyzers = []*Analyzer{
 		Doc:  "fmt.Print*/log output in library packages; output must flow through the reporter",
 		Run:  runPrintcheck,
 	},
+	{
+		Name: "hashcache",
+		Doc:  "direct hash/fnv constructors outside internal/xmldom; use the cached xmldom hashing primitives",
+		Run:  runHashcache,
+	},
 }
 
 // analyze runs every analyzer over pkg, drops suppressed findings and

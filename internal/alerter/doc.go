@@ -8,6 +8,8 @@
 package alerter
 
 import (
+	"sync"
+
 	"xymon/internal/core"
 	"xymon/internal/warehouse"
 	"xymon/internal/xmldom"
@@ -26,6 +28,25 @@ type Doc struct {
 	Delta *xydiff.Delta
 	// Content is the raw page body for HTML pages.
 	Content []byte
+
+	clOnce sync.Once
+	cl     *xydiff.Classification
+}
+
+// Classification projects the delta onto the current version, computed at
+// most once per document no matter how many consumers ask: the XML alerter
+// raises its change events from it and the manager filters every
+// registered query's `new X` / `updated X` payloads against the same
+// instance, where each used to run its own xydiff.Classify. Returns nil
+// when there is no parsed document or no delta (nothing to classify).
+// Docs are shared by pointer along the pipeline, so the sync.Once also
+// makes the lazy computation safe across stages.
+func (d *Doc) Classification() *xydiff.Classification {
+	if d.Doc == nil || d.Delta == nil {
+		return nil
+	}
+	d.clOnce.Do(func() { d.cl = xydiff.Classify(d.Doc, d.Delta) })
+	return d.cl
 }
 
 // Alert is what the alerters hand to the Monitoring Query Processor: the

@@ -7,7 +7,6 @@ import (
 	"xymon/internal/sublang"
 	"xymon/internal/warehouse"
 	"xymon/internal/xmldom"
-	"xymon/internal/xydiff"
 )
 
 // tagTable maps an element tag to atomic event codes — the TagTable of
@@ -285,6 +284,9 @@ func (a *XMLAlerter) detectChanges(d *Doc, emit func(core.Event)) {
 		if !ok {
 			return
 		}
+		// Many conditions typically share a tag (one per subscriber word);
+		// the element's text is materialised once for all of them.
+		text, haveText := "", false
 		for _, cc := range conds {
 			if cc.word == "" {
 				emit(cc.code)
@@ -297,7 +299,12 @@ func (a *XMLAlerter) detectChanges(d *Doc, emit func(core.Event)) {
 						break
 					}
 				}
-			} else if xmldom.ContainsWord(n.TextContent(), cc.word) {
+				continue
+			}
+			if !haveText {
+				text, haveText = n.TextContent(), true
+			}
+			if xmldom.ContainsWord(text, cc.word) {
 				emit(cc.code)
 			}
 		}
@@ -314,10 +321,10 @@ func (a *XMLAlerter) detectChanges(d *Doc, emit func(core.Event)) {
 			return true
 		})
 	case warehouse.StatusUpdated:
-		if d.Delta == nil {
+		cl := d.Classification()
+		if cl == nil {
 			return
 		}
-		cl := xydiff.Classify(d.Doc, d.Delta)
 		for _, n := range cl.NewElems {
 			check(newTbl, n)
 		}

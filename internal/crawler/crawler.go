@@ -8,7 +8,6 @@
 package crawler
 
 import (
-	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -18,6 +17,7 @@ import (
 	"xymon/internal/sublang"
 	"xymon/internal/warehouse"
 	"xymon/internal/webgen"
+	"xymon/internal/xmldom"
 )
 
 // Sink receives each fetched document after it is committed to the
@@ -387,9 +387,7 @@ func retryBackoff(base, max time.Duration, fails int, url string) time.Duration 
 	if d > max {
 		d = max
 	}
-	h := fnv.New64a()
-	h.Write([]byte(url))
-	seed := h.Sum64() ^ uint64(fails)*0x9e3779b97f4a7c15
+	seed := xmldom.HashString(url) ^ uint64(fails)*0x9e3779b97f4a7c15
 	frac := 0.75 + 0.5*float64(seed>>11)/float64(uint64(1)<<53)
 	j := time.Duration(float64(d) * frac)
 	if j > max {

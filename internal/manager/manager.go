@@ -109,6 +109,28 @@ type processScratch struct {
 	trig    []triggerRef
 	seen    map[uint64]struct{}
 	perSub  map[string]int
+	// newSet/updSet index the document's Classification for the `new X` /
+	// `updated X` payload filters. Built at most once per alert
+	// (ensureChangeSets) and shared by every matched query, where each
+	// query used to classify the document and build its own maps.
+	newSet    map[*xmldom.Node]bool
+	updSet    map[*xmldom.Node]bool
+	setsReady bool
+}
+
+// ensureChangeSets fills newSet/updSet from the document classification,
+// once per alert; later queries reuse the same maps.
+func (sc *processScratch) ensureChangeSets(cl *xydiff.Classification) {
+	if sc.setsReady {
+		return
+	}
+	sc.setsReady = true
+	for _, n := range cl.NewElems {
+		sc.newSet[n] = true
+	}
+	for _, n := range cl.UpdatedElems {
+		sc.updSet[n] = true
+	}
 }
 
 // triggerRef records a (subscription, label) pair whose continuous
@@ -119,6 +141,8 @@ var processPool = sync.Pool{New: func() any {
 	return &processScratch{
 		seen:   make(map[uint64]struct{}, 16),
 		perSub: make(map[string]int, 8),
+		newSet: make(map[*xmldom.Node]bool, 16),
+		updSet: make(map[*xmldom.Node]bool, 16),
 	}
 }}
 
@@ -127,6 +151,9 @@ var processPool = sync.Pool{New: func() any {
 func (sc *processScratch) release() {
 	clear(sc.seen)
 	clear(sc.perSub)
+	clear(sc.newSet)
+	clear(sc.updSet)
+	sc.setsReady = false
 	sc.matched = sc.matched[:0] // plain values, no scrub needed
 	for i := range sc.queries {
 		sc.queries[i] = nil
@@ -357,7 +384,7 @@ func (m *Manager) ProcessAlert(a *alerter.Alert) int {
 	now := m.clock()
 	for _, rq := range sc.queries {
 		label := rq.mq.Label()
-		elems := m.buildNotifications(rq, a.Doc)
+		elems := m.buildNotifications(rq, a.Doc, sc)
 		triggered := false
 		for _, el := range elems {
 			// Disjunctive where clauses compile to several complex events
@@ -410,7 +437,7 @@ func (m *Manager) ProcessAlert(a *alerter.Alert) int {
 
 // buildNotifications materialises the select clause of a matched
 // monitoring query against the triggering document.
-func (m *Manager) buildNotifications(rq *registeredQuery, d *alerter.Doc) []*xmldom.Node {
+func (m *Manager) buildNotifications(rq *registeredQuery, d *alerter.Doc, sc *processScratch) []*xmldom.Node {
 	sel := rq.mq.Select
 	switch {
 	case sel != nil && sel.Literal != nil:
@@ -424,14 +451,14 @@ func (m *Manager) buildNotifications(rq *registeredQuery, d *alerter.Doc) []*xml
 			case builtinValue(c.Var, d) != "":
 				e.AppendChild(xmldom.Text(builtinValue(c.Var, d)))
 			default:
-				for _, n := range m.varElements(rq, c.Var, d) {
+				for _, n := range m.varElements(rq, c.Var, d, sc) {
 					e.AppendChild(n)
 				}
 			}
 		}
 		return []*xmldom.Node{e}
 	case sel != nil && sel.Var != "":
-		return m.varElements(rq, sel.Var, d)
+		return m.varElements(rq, sel.Var, d, sc)
 	default:
 		e := xmldom.Element("notification")
 		e.WithAttr("url", d.Meta.URL)
@@ -477,7 +504,7 @@ func (m *Manager) literalElement(lit *sublang.LiteralElem, d *alerter.Doc) *xmld
 // varElements resolves `select X` payloads: the elements bound to X in the
 // current document, filtered by the change pattern the where clause put on
 // X (so `new X` returns only the new elements).
-func (m *Manager) varElements(rq *registeredQuery, v string, d *alerter.Doc) []*xmldom.Node {
+func (m *Manager) varElements(rq *registeredQuery, v string, d *alerter.Doc, sc *processScratch) []*xmldom.Node {
 	if d.Doc == nil || d.Doc.Root == nil {
 		return nil
 	}
@@ -533,13 +560,21 @@ func (m *Manager) varElements(rq *registeredQuery, v string, d *alerter.Doc) []*
 		// Every element of a brand-new document is new.
 		return cloneAll(nodes)
 	case d.Status == warehouse.StatusUpdated && d.Delta != nil:
-		cl := xydiff.Classify(d.Doc, d.Delta)
+		// The classification is computed once per document (on the Doc,
+		// shared with the XML alerter) and its node sets once per alert (on
+		// the scratch, shared by every matched query).
+		cl := d.Classification()
+		if cl == nil {
+			return nil
+		}
 		var wantSet map[*xmldom.Node]bool
 		switch change {
 		case sublang.OpNew:
-			wantSet = nodeSet(cl.NewElems)
+			sc.ensureChangeSets(cl)
+			wantSet = sc.newSet
 		case sublang.OpUpdated:
-			wantSet = nodeSet(cl.UpdatedElems)
+			sc.ensureChangeSets(cl)
+			wantSet = sc.updSet
 		case sublang.OpDeleted:
 			// Deleted elements are in the old version; match by tag among
 			// the deleted subtrees.
@@ -583,14 +618,6 @@ func cloneAll(nodes []*xmldom.Node) []*xmldom.Node {
 		out = append(out, n.Clone())
 	}
 	return out
-}
-
-func nodeSet(nodes []*xmldom.Node) map[*xmldom.Node]bool {
-	s := make(map[*xmldom.Node]bool, len(nodes))
-	for _, n := range nodes {
-		s[n] = true
-	}
-	return s
 }
 
 // Subscriptions lists the registered subscription names.

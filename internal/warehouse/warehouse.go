@@ -190,6 +190,9 @@ func (s *Store) CommitXML(url, dtd, domain string, doc *xmldom.Document) (*Commi
 		e = &Entry{Meta: meta, Doc: doc, Base: doc.Clone()}
 		s.pages[url] = e
 		s.indexDomainLocked(domain, url)
+		// Prime the structural hash vector under the commit lock: the next
+		// version's Diff then hashes only its own tree.
+		doc.Hashes()
 		return &CommitResult{Status: StatusNew, Meta: meta, Doc: doc}, nil
 	}
 	e.Meta.LastAccessed = now
@@ -204,6 +207,8 @@ func (s *Store) CommitXML(url, dtd, domain string, doc *xmldom.Document) (*Commi
 		e.Doc = doc
 		e.Base = doc.Clone()
 		e.Deltas = nil
+		doc.Hashes()
+		old.InvalidateHashes()
 		e.Meta.Signature = sig
 		e.Meta.LastUpdate = now
 		e.Meta.Version++
@@ -211,6 +216,9 @@ func (s *Store) CommitXML(url, dtd, domain string, doc *xmldom.Document) (*Commi
 	}
 	e.Doc = doc
 	e.Deltas = append(e.Deltas, delta)
+	// doc's vector was computed (and cached) by Diff; the superseded
+	// version's vector is recycled — no later Diff can involve it.
+	old.InvalidateHashes()
 	e.Meta.Signature = sig
 	e.Meta.LastUpdate = now
 	e.Meta.Version++

@@ -8,6 +8,7 @@ package xmldom
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // NodeType distinguishes element nodes from data (text) nodes, the two DOM
@@ -43,6 +44,10 @@ type Node struct {
 	Children []*Node
 	Parent   *Node
 	XID      XID
+	// ord is the node's preorder index in the tree it was last hashed in;
+	// it addresses the node's slot in the owning Document's HashVector.
+	// Maintained by Document.Hashes, meaningless outside a valid vector.
+	ord int32
 }
 
 // Document is a parsed XML document: a single root element plus the XID
@@ -50,6 +55,8 @@ type Node struct {
 type Document struct {
 	Root    *Node
 	nextXID XID
+	// hashes caches the structural subtree-hash vector; see Hashes.
+	hashes *HashVector
 }
 
 // NewDocument wraps root into a document and labels every unlabelled node.
@@ -203,23 +210,30 @@ func (d *Document) Clone() *Document {
 }
 
 // TextContent concatenates the text of all data nodes in the subtree, in
-// document order, separated by single spaces.
+// document order, separated by single spaces. The walk is an explicit
+// stack, not recursion, so arbitrarily deep documents cannot overflow the
+// goroutine stack.
 func (n *Node) TextContent() string {
 	var b strings.Builder
-	var walk func(x *Node)
-	walk = func(x *Node) {
+	stp := nodeStackPool.Get().(*[]*Node)
+	st := append((*stp)[:0], n)
+	for len(st) > 0 {
+		x := st[len(st)-1]
+		st = st[:len(st)-1]
 		if x.Type == TextNode {
 			if b.Len() > 0 {
 				b.WriteByte(' ')
 			}
 			b.WriteString(x.Text)
-			return
+			continue
 		}
-		for _, c := range x.Children {
-			walk(c)
+		// Push children in reverse so they pop in document order.
+		for i := len(x.Children) - 1; i >= 0; i-- {
+			st = append(st, x.Children[i])
 		}
 	}
-	walk(n)
+	*stp = st[:0]
+	nodeStackPool.Put(stp)
 	return b.String()
 }
 
@@ -262,10 +276,22 @@ func (n *Node) FindByXID(x XID) *Node {
 	return found
 }
 
-// Size returns the number of nodes in the subtree.
+// Size returns the number of nodes in the subtree. Iterative for the same
+// reason as TextContent: depth must not bound the documents we can handle.
 func (n *Node) Size() int {
 	count := 0
-	n.PreOrder(func(*Node) bool { count++; return true })
+	stp := nodeStackPool.Get().(*[]*Node)
+	st := append((*stp)[:0], n)
+	for len(st) > 0 {
+		x := st[len(st)-1]
+		st = st[:len(st)-1]
+		count++
+		for _, c := range x.Children {
+			st = append(st, c)
+		}
+	}
+	*stp = st[:0]
+	nodeStackPool.Put(stp)
 	return count
 }
 
@@ -316,18 +342,90 @@ func HashFold(h uint64, s string) uint64 {
 // HashSeed returns the canonical seed for a HashFold / Hash64 chain.
 func HashSeed() uint64 { return fnvOffset64 }
 
+// HashString returns the plain FNV-1a hash of s — bit-identical to
+// hash/fnv's New64a over the same bytes, with no hasher allocation and no
+// field separator. Use it where an existing value (a page seed, a jitter
+// key) was defined as the raw FNV of a string and must stay stable;
+// use HashFold when composing multi-field keys.
+func HashString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hash64Frame is one element of the explicit Hash64 / Hashes traversal
+// stack: the node, the next child to visit, and the running hash at the
+// point the node was opened (Hashes) or carried through it (Hash64).
+type hash64Frame struct {
+	n     *Node
+	child int
+	h     uint64
+}
+
+// hashFramePool recycles the explicit stacks shared by Hash64 and the
+// Document.Hashes post-order fold.
+var hashFramePool = sync.Pool{New: func() any {
+	s := make([]hash64Frame, 0, 64)
+	return &s
+}}
+
+// nodeStackPool recycles the plain node stacks of TextContent and Size.
+var nodeStackPool = sync.Pool{New: func() any {
+	s := make([]*Node, 0, 64)
+	return &s
+}}
+
 // Hash64 folds a structural fingerprint of the subtree rooted at n into
 // the running FNV-1a hash h (seed with HashSeed): node kinds, tags, text,
 // attribute name/value pairs and child structure all contribute. Two
 // subtrees that serialise to the same XML fold identically, without
 // materialising the serialisation — this is the notification dedup key of
 // the hot path. XIDs and parent links are ignored, like in XML().
+//
+// The traversal is an explicit pooled stack (shared with Document.Hashes),
+// so a pathologically deep document cannot overflow the goroutine stack.
+// The fold order is identical to the historical recursive version, so
+// values are stable across the change.
 func (n *Node) Hash64(h uint64) uint64 {
 	if n.Type == TextNode {
 		h ^= 't'
 		h *= fnvPrime64
 		return HashFold(h, n.Text)
 	}
+	stp := hashFramePool.Get().(*[]hash64Frame)
+	st := (*stp)[:0]
+	h = hash64Open(h, n)
+	st = append(st, hash64Frame{n: n})
+	for len(st) > 0 {
+		f := &st[len(st)-1]
+		if f.child < len(f.n.Children) {
+			c := f.n.Children[f.child]
+			f.child++
+			if c.Type == TextNode {
+				h ^= 't'
+				h *= fnvPrime64
+				h = HashFold(h, c.Text)
+				continue
+			}
+			h = hash64Open(h, c)
+			st = append(st, hash64Frame{n: c})
+			continue
+		}
+		h ^= '<'
+		h *= fnvPrime64
+		st = st[:len(st)-1]
+	}
+	*stp = st[:0]
+	hashFramePool.Put(stp)
+	return h
+}
+
+// hash64Open folds the opening part of an element — kind marker, tag,
+// attributes, the '>' separator — into h.
+func hash64Open(h uint64, n *Node) uint64 {
 	h ^= 'e'
 	h *= fnvPrime64
 	h = HashFold(h, n.Tag)
@@ -336,11 +434,6 @@ func (n *Node) Hash64(h uint64) uint64 {
 		h = HashFold(h, a.Value)
 	}
 	h ^= '>'
-	h *= fnvPrime64
-	for _, c := range n.Children {
-		h = c.Hash64(h)
-	}
-	h ^= '<'
 	h *= fnvPrime64
 	return h
 }

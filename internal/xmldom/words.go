@@ -3,6 +3,7 @@ package xmldom
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Words splits text into lower-cased words: maximal runs of letters and
@@ -32,14 +33,43 @@ func Words(text string) []string {
 }
 
 // ContainsWord reports whether the word (already lower-case) occurs in
-// text under the Words tokenisation.
+// text under the Words tokenisation. It scans in place — same maximal
+// letter/digit runs, same unicode.ToLower folding as Words — without
+// materialising the token list: this runs once per (element, condition) on
+// the alerter hot path, where the tokenising version dominated the
+// per-document allocation profile.
 func ContainsWord(text, word string) bool {
-	for _, w := range Words(text) {
-		if w == word {
+	if word == "" {
+		return false
+	}
+	inTok := false // inside a letter/digit run
+	wi := 0        // bytes of word matched within the current run
+	live := true   // current run still a prefix of word
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if !inTok {
+				inTok, wi, live = true, 0, true
+			}
+			if live {
+				if wi < len(word) {
+					wr, size := utf8.DecodeRuneInString(word[wi:])
+					if unicode.ToLower(r) == wr {
+						wi += size
+					} else {
+						live = false
+					}
+				} else {
+					live = false // token longer than word
+				}
+			}
+			continue
+		}
+		if inTok && live && wi == len(word) {
 			return true
 		}
+		inTok = false
 	}
-	return false
+	return inTok && live && wi == len(word)
 }
 
 // NormalizeWord lower-cases a query word so it compares against Words

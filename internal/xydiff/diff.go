@@ -12,8 +12,8 @@ package xydiff
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
+	"sync"
 
 	"xymon/internal/xmldom"
 )
@@ -70,67 +70,103 @@ func (d *Delta) Empty() bool { return d == nil || len(d.Ops) == 0 }
 // unmatched (inserted) nodes receive fresh XIDs drawn from the old
 // document's counter. It returns the delta from old to new.
 //
-// Matching is order-preserving per level: children lists are aligned with
-// a weighted LCS that strongly prefers identical subtrees (equal hashes)
-// and otherwise pairs nodes of the same kind and tag, which keeps deltas
-// small on typical edits while guaranteeing Apply reconstructs the new
-// version exactly.
+// Matching is order-preserving per level. Children lists are aligned by
+// subtree hash (xmldom.Document.Hashes — computed once per version and
+// cached, so diffing version n→n+1 of a warehouse chain hashes only the
+// new tree): equal-prefix/suffix runs and unique-hash anchors pair in
+// linear time, and only the short residues between anchors fall back to a
+// weighted LCS that pairs nodes of the same kind and tag. Deltas stay
+// small on typical edits and Apply reconstructs the new version exactly.
 func Diff(old, new *xmldom.Document) (*Delta, error) {
+	return diffWith(old, new, alignAnchors)
+}
+
+// alignFunc computes an order-preserving matching between two children
+// lists, appending strictly i- and j-increasing pairs of compatible nodes
+// (same kind; same tag for elements) to buf.
+type alignFunc func(d *differ, old, new []*xmldom.Node, buf []pair) []pair
+
+func diffWith(old, new *xmldom.Document, align alignFunc) (*Delta, error) {
 	if old == nil || old.Root == nil || new == nil || new.Root == nil {
 		return nil, errors.New("xydiff: both versions must have a root")
 	}
-	d := &differ{doc: old, delta: &Delta{}}
-	oh := hashTree(old.Root)
-	nh := hashTree(new.Root)
 	if old.Root.Type != new.Root.Type || old.Root.Tag != new.Root.Tag {
 		return nil, errors.New("xydiff: root elements differ; versions are unrelated documents")
 	}
-	d.matchNodes(old.Root, new.Root, oh, nh)
+	sc := diffScratchPool.Get().(*diffScratch)
+	d := &differ{
+		doc:   old,
+		delta: &Delta{},
+		oh:    old.Hashes(),
+		nh:    new.Hashes(),
+		sc:    sc,
+		align: align,
+	}
+	d.matchNodes(old.Root, new.Root)
 	new.SetNextXID(old.NextXID())
+	sc.release()
+	diffScratchPool.Put(sc)
 	return d.delta, nil
 }
 
 type differ struct {
 	doc   *xmldom.Document // old document: supplies fresh XIDs
 	delta *Delta
+	oh    *xmldom.HashVector // subtree hashes of the old version
+	nh    *xmldom.HashVector // subtree hashes of the new version
+	sc    *diffScratch
+	align alignFunc
 }
 
-type hashes map[*xmldom.Node]uint64
+// diffScratch holds every per-Diff working buffer. One scratch serves the
+// whole recursion because an align call finishes before matchNodes recurses
+// into the pairs it produced; only the pair output buffers live across the
+// recursion, and those come from pairsPool.
+type diffScratch struct {
+	dp     []int              // flat (a+1)×(b+1) LCS table for one residue
+	tb     []pair             // residue traceback, built reversed
+	counts map[uint64]int     // shared-child-hash counts for one score() call
+	occ    map[uint64]occRec  // hash occurrence counts for anchor discovery
+	cand   []pair             // unique-hash anchor candidates, in j order
+	tails  []int32            // patience LIS: candidate index ending each length
+	prev   []int32            // patience LIS: predecessor candidate index
+	chain  []pair             // chosen anchor chain, in order
+	byKey  map[string][]int32 // greedy fallback: old indices per kind/tag key
+}
 
-// hashTree computes a structural hash for every node of the subtree:
-// identical subtrees (tags, attributes, text, order) share a hash.
-func hashTree(root *xmldom.Node) hashes {
-	h := make(hashes)
-	var walk func(n *xmldom.Node) uint64
-	walk = func(n *xmldom.Node) uint64 {
-		f := fnv.New64a()
-		if n.Type == xmldom.TextNode {
-			f.Write([]byte{'t'})
-			f.Write([]byte(n.Text))
-		} else {
-			f.Write([]byte{'e'})
-			f.Write([]byte(n.Tag))
-			for _, a := range n.Attrs {
-				f.Write([]byte{0})
-				f.Write([]byte(a.Name))
-				f.Write([]byte{1})
-				f.Write([]byte(a.Value))
-			}
-			for _, c := range n.Children {
-				ch := walk(c)
-				var buf [8]byte
-				for i := 0; i < 8; i++ {
-					buf[i] = byte(ch >> (8 * i))
-				}
-				f.Write(buf[:])
-			}
-		}
-		v := f.Sum64()
-		h[n] = v
-		return v
+func (sc *diffScratch) release() {
+	clear(sc.counts)
+	clear(sc.occ)
+	clear(sc.byKey)
+	sc.dp = sc.dp[:0]
+	sc.tb = sc.tb[:0]
+	sc.cand = sc.cand[:0]
+	sc.tails = sc.tails[:0]
+	sc.prev = sc.prev[:0]
+	sc.chain = sc.chain[:0]
+}
+
+var diffScratchPool = sync.Pool{New: func() any {
+	return &diffScratch{
+		counts: make(map[uint64]int),
+		occ:    make(map[uint64]occRec),
+		byKey:  make(map[string][]int32),
 	}
-	walk(root)
-	return h
+}}
+
+// pairsPool recycles the per-level pair buffers. They cannot live on
+// diffScratch: a parent's pairs are still being walked while its children
+// run their own alignment.
+var pairsPool = sync.Pool{New: func() any {
+	b := make([]pair, 0, 16)
+	return &b
+}}
+
+// occRec tracks how often a subtree hash occurs in the old and new middle
+// runs, and where it first occurs in the old one.
+type occRec struct {
+	oc, nc int32
+	oi     int32
 }
 
 // propagateXIDs copies XIDs from an old subtree to a structurally
@@ -151,9 +187,9 @@ func (d *differ) labelFresh(n *xmldom.Node) {
 }
 
 // matchNodes handles a matched pair (same kind; same tag for elements).
-func (d *differ) matchNodes(old, new *xmldom.Node, oh, nh hashes) {
+func (d *differ) matchNodes(old, new *xmldom.Node) {
 	new.XID = old.XID
-	if oh[old] == nh[new] {
+	if d.oh.Of(old) == d.nh.Of(new) {
 		// Identical subtrees: just propagate identities.
 		propagateXIDs(old, new)
 		return
@@ -172,33 +208,37 @@ func (d *differ) matchNodes(old, new *xmldom.Node, oh, nh hashes) {
 			NewAttrs: append([]xmldom.Attr(nil), new.Attrs...), AttrsChanged: true,
 		})
 	}
-	pairs := alignChildren(old.Children, new.Children, oh, nh)
-	oldMatched := make([]bool, len(old.Children))
-	newMatched := make([]bool, len(new.Children))
-	for _, p := range pairs {
-		oldMatched[p.i] = true
-		newMatched[p.j] = true
-	}
-	// Deletions first (they reference old XIDs only). Parent records the
-	// surviving element (same XID in both versions) for classification.
+	bufp := pairsPool.Get().(*[]pair)
+	pairs := d.align(d, old.Children, new.Children, (*bufp)[:0])
+	// Deletions first (they reference old XIDs only). pairs is strictly
+	// increasing in both coordinates, so a single cursor replaces the old
+	// per-level matched-bool slices.
+	pi := 0
 	for i, c := range old.Children {
-		if !oldMatched[i] {
-			d.delta.Ops = append(d.delta.Ops, Op{Kind: OpDelete, XID: c.XID, Parent: old.XID, Subtree: c.Clone()})
+		if pi < len(pairs) && pairs[pi].i == i {
+			pi++
+			continue
 		}
+		d.delta.Ops = append(d.delta.Ops, Op{Kind: OpDelete, XID: c.XID, Parent: old.XID, Subtree: c.Clone()})
 	}
 	// Recurse into matched pairs.
 	for _, p := range pairs {
-		d.matchNodes(old.Children[p.i], new.Children[p.j], oh, nh)
+		d.matchNodes(old.Children[p.i], new.Children[p.j])
 	}
 	// Insertions, positioned in the new children list.
+	pj := 0
 	for j, c := range new.Children {
-		if !newMatched[j] {
-			d.labelFresh(c)
-			d.delta.Ops = append(d.delta.Ops, Op{
-				Kind: OpInsert, XID: c.XID, Parent: old.XID, Pos: j, Subtree: c.Clone(),
-			})
+		if pj < len(pairs) && pairs[pj].j == j {
+			pj++
+			continue
 		}
+		d.labelFresh(c)
+		d.delta.Ops = append(d.delta.Ops, Op{
+			Kind: OpInsert, XID: c.XID, Parent: old.XID, Pos: j, Subtree: c.Clone(),
+		})
 	}
+	*bufp = pairs[:0]
+	pairsPool.Put(bufp)
 }
 
 func attrsEqual(a, b []xmldom.Attr) bool {
@@ -215,80 +255,259 @@ func attrsEqual(a, b []xmldom.Attr) bool {
 
 type pair struct{ i, j int }
 
-// alignChildren computes an order-preserving matching between two children
-// lists. Weighted LCS: identical subtrees dominate; among compatible nodes
-// (same kind and tag) the score grows with the number of identical child
-// subtrees, so an edited element pairs with its former self rather than
-// with an arbitrary same-tag sibling; incompatible nodes never match.
-func alignChildren(old, new []*xmldom.Node, oh, nh hashes) []pair {
+// maxDPCells bounds the size of the weighted-LCS table run on one residue
+// between anchors. Residues larger than this (which only arise when a
+// level was rewritten nearly wholesale, so there are no unique-hash
+// anchors to shrink them) fall back to a linear greedy matching: the
+// result is still a valid order-preserving pairing of compatible nodes —
+// all that correctness requires — it may just trade a few matches for
+// delete+insert pairs.
+const maxDPCells = 16384
+
+// alignAnchors is the production aligner: a patience-diff-style pass over
+// the cached subtree hashes.
+//
+//  1. Trim the common prefix and suffix (hash-equal runs) in linear time —
+//     the entire cost on the no-change and single-edit fast paths.
+//  2. In the middle, bucket children by subtree hash and take hashes that
+//     occur exactly once on each side as anchor candidates; a patience
+//     longest-increasing-subsequence pass keeps the largest order-
+//     consistent subset.
+//  3. Only the short residues between consecutive anchors run the
+//     weighted LCS (alignSegment), so the quadratic work is bounded by
+//     the edit, not the fan-out.
+func alignAnchors(d *differ, old, new []*xmldom.Node, buf []pair) []pair {
 	n, m := len(old), len(new)
 	if n == 0 || m == 0 {
-		return nil
+		return buf
 	}
+	oh, nh := d.oh, d.nh
+	// Common prefix.
+	lo := 0
+	for lo < n && lo < m && oh.Of(old[lo]) == nh.Of(new[lo]) {
+		buf = append(buf, pair{lo, lo})
+		lo++
+	}
+	// Common suffix (appended after the middle to keep buf ordered).
+	hiO, hiM := n, m
+	for hiO > lo && hiM > lo && oh.Of(old[hiO-1]) == nh.Of(new[hiM-1]) {
+		hiO--
+		hiM--
+	}
+	if lo < hiO && lo < hiM {
+		sc := d.sc
+		// Occurrence counts over the middle runs.
+		clear(sc.occ)
+		for i := lo; i < hiO; i++ {
+			h := oh.Of(old[i])
+			e := sc.occ[h]
+			if e.oc == 0 {
+				e.oi = int32(i)
+			}
+			e.oc++
+			sc.occ[h] = e
+		}
+		for j := lo; j < hiM; j++ {
+			h := nh.Of(new[j])
+			e := sc.occ[h]
+			e.nc++
+			sc.occ[h] = e
+		}
+		// Anchor candidates: unique on both sides, collected in j order.
+		sc.cand = sc.cand[:0]
+		for j := lo; j < hiM; j++ {
+			if e := sc.occ[nh.Of(new[j])]; e.oc == 1 && e.nc == 1 {
+				sc.cand = append(sc.cand, pair{int(e.oi), j})
+			}
+		}
+		// Patience LIS: with candidates in increasing j, the longest chain
+		// of strictly increasing i is the largest non-crossing anchor set.
+		sc.chain = sc.chain[:0]
+		if len(sc.cand) > 0 {
+			sc.tails = sc.tails[:0]
+			sc.prev = append(sc.prev[:0], make([]int32, len(sc.cand))...)
+			for ci, c := range sc.cand {
+				k := sort.Search(len(sc.tails), func(k int) bool {
+					return sc.cand[sc.tails[k]].i >= c.i
+				})
+				if k > 0 {
+					sc.prev[ci] = sc.tails[k-1]
+				} else {
+					sc.prev[ci] = -1
+				}
+				if k == len(sc.tails) {
+					sc.tails = append(sc.tails, int32(ci))
+				} else {
+					sc.tails[k] = int32(ci)
+				}
+			}
+			for ci := sc.tails[len(sc.tails)-1]; ci >= 0; ci = sc.prev[ci] {
+				sc.chain = append(sc.chain, sc.cand[ci])
+			}
+			// Chain was collected back-to-front; reverse in place.
+			for a, b := 0, len(sc.chain)-1; a < b; a, b = a+1, b-1 {
+				sc.chain[a], sc.chain[b] = sc.chain[b], sc.chain[a]
+			}
+		}
+		// Residues between anchors; then the anchor itself.
+		pi, pj := lo, lo
+		for _, a := range sc.chain {
+			buf = alignSegment(d, old, new, pi, a.i, pj, a.j, buf)
+			buf = append(buf, a)
+			pi, pj = a.i+1, a.j+1
+		}
+		buf = alignSegment(d, old, new, pi, hiO, pj, hiM, buf)
+	}
+	for k := 0; hiO+k < n; k++ {
+		buf = append(buf, pair{hiO + k, hiM + k})
+	}
+	return buf
+}
+
+// alignSegment matches one residue old[i0:i1) × new[j0:j1) between
+// anchors, appending pairs with absolute indices to buf. Small residues
+// run the weighted LCS; oversized ones (see maxDPCells) use a greedy
+// per-kind/tag two-pointer pass.
+func alignSegment(d *differ, old, new []*xmldom.Node, i0, i1, j0, j1 int, buf []pair) []pair {
+	a, b := i1-i0, j1-j0
+	if a == 0 || b == 0 {
+		return buf
+	}
+	if a*b > maxDPCells {
+		return alignGreedy(d, old, new, i0, i1, j0, j1, buf)
+	}
+	return alignDP(d, old, new, i0, i1, j0, j1, buf)
+}
+
+// alignDP is the weighted-LCS table fill and traceback over one span.
+func alignDP(d *differ, old, new []*xmldom.Node, i0, i1, j0, j1 int, buf []pair) []pair {
+	a, b := i1-i0, j1-j0
+	oh, nh, sc := d.oh, d.nh, d.sc
 	const identical = 1 << 20
-	common := func(a, b *xmldom.Node) int {
-		if len(a.Children) == 0 || len(b.Children) == 0 {
+	common := func(x, y *xmldom.Node) int {
+		if len(x.Children) == 0 || len(y.Children) == 0 {
 			return 0
 		}
-		counts := make(map[uint64]int, len(a.Children))
-		for _, c := range a.Children {
-			counts[oh[c]]++
+		clear(sc.counts)
+		for _, c := range x.Children {
+			sc.counts[oh.Of(c)]++
 		}
 		shared := 0
-		for _, c := range b.Children {
-			if counts[nh[c]] > 0 {
-				counts[nh[c]]--
+		for _, c := range y.Children {
+			if sc.counts[nh.Of(c)] > 0 {
+				sc.counts[nh.Of(c)]--
 				shared++
 			}
 		}
 		return shared
 	}
-	score := func(a, b *xmldom.Node) int {
-		if a.Type != b.Type {
+	// Weighted LCS: identical subtrees dominate; among compatible nodes
+	// (same kind and tag) the score grows with the number of identical
+	// child subtrees, so an edited element pairs with its former self
+	// rather than with an arbitrary same-tag sibling; incompatible nodes
+	// never match.
+	score := func(x, y *xmldom.Node) int {
+		if x.Type != y.Type {
 			return 0
 		}
-		if a.Type == xmldom.ElementNode && a.Tag != b.Tag {
+		if x.Type == xmldom.ElementNode && x.Tag != y.Tag {
 			return 0
 		}
-		if oh[a] == nh[b] {
+		if oh.Of(x) == nh.Of(y) {
 			return identical
 		}
-		return 1 + common(a, b)
+		return 1 + common(x, y)
 	}
-	dp := make([][]int, n+1)
-	for i := range dp {
-		dp[i] = make([]int, m+1)
+	w := b + 1
+	need := (a + 1) * w
+	if cap(sc.dp) < need {
+		sc.dp = make([]int, need)
 	}
-	for i := 1; i <= n; i++ {
-		for j := 1; j <= m; j++ {
-			best := dp[i-1][j]
-			if dp[i][j-1] > best {
-				best = dp[i][j-1]
+	dp := sc.dp[:need]
+	for k := range dp {
+		dp[k] = 0
+	}
+	for i := 1; i <= a; i++ {
+		for j := 1; j <= b; j++ {
+			best := dp[(i-1)*w+j]
+			if v := dp[i*w+j-1]; v > best {
+				best = v
 			}
-			if s := score(old[i-1], new[j-1]); s > 0 && dp[i-1][j-1]+s > best {
-				best = dp[i-1][j-1] + s
+			if s := score(old[i0+i-1], new[j0+j-1]); s > 0 {
+				if v := dp[(i-1)*w+j-1] + s; v > best {
+					best = v
+				}
 			}
-			dp[i][j] = best
+			dp[i*w+j] = best
 		}
 	}
 	// Traceback. Skip moves are preferred when they lose no score, so ties
 	// between equally-scored matchings resolve toward pairing the earliest
 	// compatible nodes — an edited first element pairs with its former
 	// self rather than pushing every sibling one slot over.
-	var pairs []pair
-	i, j := n, m
+	sc.tb = sc.tb[:0]
+	i, j := a, b
 	for i > 0 && j > 0 {
 		switch {
-		case dp[i-1][j] == dp[i][j]:
+		case dp[(i-1)*w+j] == dp[i*w+j]:
 			i--
-		case dp[i][j-1] == dp[i][j]:
+		case dp[i*w+j-1] == dp[i*w+j]:
 			j--
 		default:
-			pairs = append(pairs, pair{i - 1, j - 1})
+			sc.tb = append(sc.tb, pair{i0 + i - 1, j0 + j - 1})
 			i--
 			j--
 		}
 	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].i < pairs[b].i })
-	return pairs
+	for k := len(sc.tb) - 1; k >= 0; k-- {
+		buf = append(buf, sc.tb[k])
+	}
+	return buf
+}
+
+// alignGreedy is the linear fallback for residues too large for the DP:
+// old children are bucketed by kind/tag, and each new child takes the
+// first still-unmatched old child of its key that keeps the matching
+// order-preserving.
+func alignGreedy(d *differ, old, new []*xmldom.Node, i0, i1, j0, j1 int, buf []pair) []pair {
+	byKey := d.sc.byKey
+	clear(byKey)
+	for i := i0; i < i1; i++ {
+		k := alignKey(old[i])
+		byKey[k] = append(byKey[k], int32(i))
+	}
+	last := int32(i0) - 1
+	for j := j0; j < j1; j++ {
+		q := byKey[alignKey(new[j])]
+		for len(q) > 0 && q[0] <= last {
+			q = q[1:]
+		}
+		if len(q) > 0 {
+			buf = append(buf, pair{int(q[0]), j})
+			last = q[0]
+			q = q[1:]
+		}
+		byKey[alignKey(new[j])] = q
+	}
+	return buf
+}
+
+// alignKey buckets nodes for the greedy fallback: elements by tag, data
+// nodes under a key no element tag can collide with.
+func alignKey(n *xmldom.Node) string {
+	if n.Type == xmldom.TextNode {
+		return "\x00text"
+	}
+	return n.Tag
+}
+
+// alignLCS is the full-table weighted LCS the anchor aligner replaced. It
+// is retained as the reference implementation: the property tests in
+// quick_test.go run every adversarial shape through both aligners and
+// require identical reconstruction.
+func alignLCS(d *differ, old, new []*xmldom.Node, buf []pair) []pair {
+	if len(old) == 0 || len(new) == 0 {
+		return buf
+	}
+	return alignDP(d, old, new, 0, len(old), 0, len(new), buf)
 }
