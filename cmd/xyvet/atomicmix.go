@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// runAtomicmix finds fields (and package-level variables) that are
+// accessed through sync/atomic somewhere in the module but read or
+// written plainly elsewhere. Mixing the two is a data race even when the
+// plain access "only reads": the atomic functions only synchronize with
+// each other. The one tolerated spot is the owning constructor
+// (func New*/new*), where the value has not escaped yet — a plain
+// initial assignment there is idiomatic. The fix is either to use
+// atomic.Load/Store at the plain site too, or to migrate the field to a
+// typed atomic (atomic.Uint64 and friends), which makes the mix
+// impossible to write.
+func runAtomicmix(e *engine) []Finding {
+	// Pass 1, module-wide: every object passed by address to a
+	// sync/atomic function, with one witness position; the idents used in
+	// those operands are exempt from pass 2.
+	atomicObjs := make(map[types.Object]token.Pos)
+	operand := make(map[*ast.Ident]bool)
+	for _, pkg := range e.pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if _, isAtomic := pkgFuncCall(pkg, call, "sync/atomic"); !isAtomic || len(call.Args) == 0 {
+					return true
+				}
+				un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					return true
+				}
+				id := baseIdent(un.X)
+				if id == nil {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if v, isVar := obj.(*types.Var); isVar && (v.IsField() || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope())) {
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = call.Pos()
+					}
+					operand[id] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2, module-wide: any other use of those objects outside the
+	// owning constructor is a plain access racing the atomic ones.
+	var out []Finding
+	for _, pkg := range e.pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if name := fd.Name.Name; strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") {
+					continue
+				}
+				ast.Inspect(fd.Body, func(node ast.Node) bool {
+					// A struct-literal key is a declaration-like mention,
+					// not an access; skip it (map keys are values, kept).
+					if kv, ok := node.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							if v, isVar := pkg.Info.Uses[id].(*types.Var); isVar && v.IsField() {
+								ast.Inspect(kv.Value, func(n ast.Node) bool { return inspectIdent(pkg, n, atomicObjs, operand, e, &out) })
+								return false
+							}
+						}
+					}
+					return inspectIdent(pkg, node, atomicObjs, operand, e, &out)
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// inspectIdent reports one plain use of an atomically-accessed object.
+func inspectIdent(pkg *Package, node ast.Node, atomicObjs map[types.Object]token.Pos, operand map[*ast.Ident]bool, e *engine, out *[]Finding) bool {
+	id, ok := node.(*ast.Ident)
+	if !ok || operand[id] {
+		return true
+	}
+	obj := pkg.Info.Uses[id]
+	witness, ok := atomicObjs[obj]
+	if !ok {
+		return true
+	}
+	*out = append(*out, Finding{
+		Pos:  id.Pos(),
+		Rule: "atomicmix",
+		Msg: fmt.Sprintf("%s is accessed with sync/atomic (e.g. at %s) but read/written plainly here; mixing atomic and plain access is a data race — use atomic.Load/Store or a typed atomic",
+			atomicDisplay(obj), e.shortPos(witness)),
+	})
+	return true
+}
+
+// atomicDisplay renders the racy object for messages.
+func atomicDisplay(obj types.Object) string {
+	v := obj.(*types.Var)
+	if v.IsField() {
+		if v.Pkg() != nil {
+			return "field " + v.Pkg().Name() + "." + v.Name()
+		}
+		return "field " + v.Name()
+	}
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+// baseIdent peels selectors/parens/indexes down to the rightmost name:
+// &s.counts[i] → counts, &n → n.
+func baseIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			return x.Sel
+		case *ast.IndexExpr:
+			expr = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -5,129 +5,62 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
+	"strings"
 )
 
-// runConnguard flags direct Read/Write calls on net.Conn values with no
-// SetDeadline/SetReadDeadline/SetWriteDeadline call earlier in the same
-// function. A conn without a deadline blocks forever on a silent peer —
-// in a monitor that must keep crawling and matching while parts of the
-// web misbehave, every unguarded conn call is a latent hang.
+// runConnguard flags Read/Write calls on net.Conn values with no
+// deadline established earlier in the same function. A conn without a
+// deadline blocks forever on a silent peer — in a monitor that must keep
+// crawling and matching while parts of the web misbehave, every
+// unguarded conn call is a latent hang.
 //
-// Methods whose own receiver carries a SetDeadline method are exempt:
-// conn wrappers (an injected-fault conn, a metered conn) forward Read and
-// Write and inherit whatever deadline their caller set on the wrapper.
-func runConnguard(pkg *Package) []Finding {
-	iface := netConnInterface(pkg)
-	if iface == nil {
-		return nil // package graph never touches net
-	}
+// The rule is interprocedural through the engine's summaries: a call to
+// a function that (transitively, through static calls) sets a deadline
+// counts as a guard at its call position, so `c.prepare(conn); conn.Read(buf)`
+// passes when prepare sets the deadline. Methods whose own receiver
+// carries a SetDeadline method stay exempt: conn wrappers (an
+// injected-fault conn, a metered conn) forward Read and Write and
+// inherit whatever deadline their caller set on the wrapper.
+func runConnguard(e *engine) []Finding {
 	var out []Finding
-	for _, file := range pkg.Files {
-		for _, d := range file.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
+	for _, n := range e.nodes {
+		if !n.pkg.Analyzed || connLikeReceiver(n.pkg, n.decl) {
+			continue
+		}
+		s := &n.sum
+		guards := append([]token.Pos(nil), s.deadlineCalls...)
+		for _, c := range s.calls {
+			if c.kind != callStatic || len(c.targets) == 0 {
 				continue
 			}
-			if connLikeReceiver(pkg, fd) {
+			if c.targets[0].sum.deadline {
+				guards = append(guards, c.pos)
+			}
+		}
+		sort.Slice(guards, func(i, j int) bool { return guards[i] < guards[j] })
+		for _, io := range s.rawIO {
+			name, ok := strings.CutPrefix(io.what, "net.Conn.")
+			if !ok {
 				continue
 			}
-			out = append(out, connguardFunc(pkg, fd, iface)...)
+			guarded := false
+			for _, gp := range guards {
+				if gp < io.pos {
+					guarded = true
+					break
+				}
+			}
+			if !guarded {
+				out = append(out, Finding{
+					Pos:  io.pos,
+					Rule: "connguard",
+					Msg:  fmt.Sprintf("net.Conn %s with no deadline set earlier in this function; a silent peer blocks it forever", name),
+				})
+			}
 		}
 	}
 	return out
-}
-
-// connguardFunc checks one function body: every conn Read/Write needs a
-// deadline call lexically before it.
-func connguardFunc(pkg *Package, fd *ast.FuncDecl, iface *types.Interface) []Finding {
-	type connCall struct {
-		pos  token.Pos
-		name string
-	}
-	var deadlines []token.Pos
-	var rws []connCall
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		t := pkg.Info.Types[sel.X].Type
-		if !implementsConn(t, iface) {
-			return true
-		}
-		switch sel.Sel.Name {
-		case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
-			deadlines = append(deadlines, call.Pos())
-		case "Read", "Write":
-			rws = append(rws, connCall{call.Pos(), sel.Sel.Name})
-		}
-		return true
-	})
-	var out []Finding
-	for _, c := range rws {
-		guarded := false
-		for _, dp := range deadlines {
-			if dp < c.pos {
-				guarded = true
-				break
-			}
-		}
-		if !guarded {
-			out = append(out, Finding{
-				Pos:  c.pos,
-				Rule: "connguard",
-				Msg:  fmt.Sprintf("net.Conn %s with no deadline set earlier in this function; a silent peer blocks it forever", c.name),
-			})
-		}
-	}
-	return out
-}
-
-// netConnInterface resolves the net.Conn interface through the package's
-// import graph, or nil when the graph never reaches net.
-func netConnInterface(pkg *Package) *types.Interface {
-	if pkg.Types == nil {
-		return nil
-	}
-	seen := make(map[*types.Package]bool)
-	var find func(p *types.Package) *types.Package
-	find = func(p *types.Package) *types.Package {
-		if p == nil || seen[p] {
-			return nil
-		}
-		seen[p] = true
-		if p.Path() == "net" {
-			return p
-		}
-		for _, imp := range p.Imports() {
-			if r := find(imp); r != nil {
-				return r
-			}
-		}
-		return nil
-	}
-	netPkg := find(pkg.Types)
-	if netPkg == nil {
-		return nil
-	}
-	obj := netPkg.Scope().Lookup("Conn")
-	if obj == nil {
-		return nil
-	}
-	iface, _ := obj.Type().Underlying().(*types.Interface)
-	return iface
-}
-
-// implementsConn reports whether t (or *t) satisfies net.Conn.
-func implementsConn(t types.Type, iface *types.Interface) bool {
-	if t == nil {
-		return false
-	}
-	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
 }
 
 // connLikeReceiver reports whether fd is a method on a type that itself

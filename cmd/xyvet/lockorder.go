@@ -1,0 +1,338 @@
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// runLockorder builds the module-wide lock-acquisition graph and reports
+// its cycles — potential deadlocks. Locks are keyed by the types.Object
+// of the mutex field (or variable), so every instance of a struct shares
+// one lock class, the standard lockdep approximation. An edge A→B means
+// "B was acquired while A was held", either directly in one body or
+// through a call chain whose callee (transitively) acquires B; the
+// finding message carries the full acquisition path of the cycle.
+//
+// Two flavors of self-deadlock are reported besides multi-lock cycles:
+// re-acquiring the same lock through the same receiver expression in one
+// function is a definite double-lock; same-class self-edges across
+// different receivers are suppressed (two instances may legitimately
+// nest).
+func runLockorder(e *engine) []Finding {
+	g := newLockGraph()
+	var out []Finding
+
+	for _, n := range e.nodes {
+		s := &n.sum
+		for i := range s.events {
+			ev := &s.events[i]
+			for _, h := range ev.held {
+				if h.caller || h.obj == nil || ev.obj == nil {
+					continue
+				}
+				if h.obj == ev.obj {
+					if h.recv == ev.recv {
+						out = append(out, Finding{
+							Pos:  ev.pos,
+							Rule: "lockorder",
+							Msg: fmt.Sprintf("%s (%s) acquired again while already held (taken at %s); sync mutexes are not reentrant — this deadlocks",
+								ev.display, ev.recv, e.shortPos(h.pos)),
+						})
+					}
+					continue
+				}
+				g.edge(h.obj, ev.obj, h.display, ev.display,
+					fmt.Sprintf("%s acquired at %s in %s while holding %s", ev.display, e.shortPos(ev.pos), n.name(), h.display),
+					ev.pos)
+			}
+		}
+		for _, c := range s.calls {
+			if c.async || len(c.held) == 0 {
+				continue
+			}
+			for _, t := range c.targets {
+				for _, lockObj := range t.sum.acquireOrder {
+					path := t.sum.acquires[lockObj]
+					for _, h := range c.held {
+						if h.caller || h.obj == nil || h.obj == lockObj {
+							continue
+						}
+						g.edge(h.obj, lockObj, h.display, path.event.display,
+							fmt.Sprintf("%s acquired at %s (via %s) while %s holds %s",
+								path.event.display, e.shortPos(path.event.pos), renderCallPath(t, path), n.name(), h.display),
+							c.pos)
+					}
+				}
+			}
+		}
+	}
+
+	for _, cyc := range g.cycles() {
+		out = append(out, Finding{
+			Pos:  cyc.pos,
+			Rule: "lockorder",
+			Msg:  "lock-order cycle (potential deadlock): " + cyc.describe(),
+		})
+	}
+	return out
+}
+
+// renderCallPath renders "f → g → h" for an acquisition witness.
+func renderCallPath(first *funcNode, path *acqPath) string {
+	var parts []string
+	parts = append(parts, first.name())
+	for _, f := range path.via {
+		if f != first {
+			parts = append(parts, f.name())
+		}
+	}
+	if path.owner != first && (len(path.via) == 0 || path.via[len(path.via)-1] != path.owner) {
+		parts = append(parts, path.owner.name())
+	}
+	return strings.Join(parts, " → ")
+}
+
+// shortPos renders a position as base-filename:line for messages.
+func (e *engine) shortPos(pos token.Pos) string {
+	p := e.fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// --- lock graph with cycle reporting ---
+//
+// The graph core is object-agnostic (integer nodes with display names
+// and edge witnesses) so the cycle reporter is unit-testable without
+// go/types machinery.
+
+type lockGraph struct {
+	ids   map[types.Object]int
+	graph *orderGraph
+}
+
+func newLockGraph() *lockGraph {
+	return &lockGraph{ids: make(map[types.Object]int), graph: newOrderGraph()}
+}
+
+func (g *lockGraph) node(obj types.Object, display string) int {
+	if id, ok := g.ids[obj]; ok {
+		return id
+	}
+	id := g.graph.addNode(display)
+	g.ids[obj] = id
+	return id
+}
+
+func (g *lockGraph) edge(from, to types.Object, fromName, toName, witness string, pos token.Pos) {
+	g.graph.addEdge(g.node(from, fromName), g.node(to, toName), witness, pos)
+}
+
+func (g *lockGraph) cycles() []orderCycle {
+	return g.graph.cycles()
+}
+
+// orderGraph is the pure directed-graph core: nodes are lock classes,
+// edges carry a human-readable witness and the position of the
+// acquisition that created them.
+type orderGraph struct {
+	names []string
+	edges map[int]map[int]orderEdge // from -> to -> first witness
+}
+
+type orderEdge struct {
+	witness string
+	pos     token.Pos
+}
+
+func newOrderGraph() *orderGraph {
+	return &orderGraph{edges: make(map[int]map[int]orderEdge)}
+}
+
+func (g *orderGraph) addNode(name string) int {
+	g.names = append(g.names, name)
+	return len(g.names) - 1
+}
+
+// addEdge records from→to, keeping the first witness (deterministic:
+// callers iterate nodes and events in source order).
+func (g *orderGraph) addEdge(from, to int, witness string, pos token.Pos) {
+	if from == to {
+		return
+	}
+	m := g.edges[from]
+	if m == nil {
+		m = make(map[int]orderEdge)
+		g.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = orderEdge{witness, pos}
+	}
+}
+
+// orderCycle is one elementary cycle chosen to represent a strongly
+// connected component of the lock graph.
+type orderCycle struct {
+	nodes   []int // in order; nodes[0] is the smallest id of the SCC
+	names   []string
+	witness []string // witness[i] explains nodes[i] -> nodes[i+1 mod n]
+	pos     token.Pos
+}
+
+func (c orderCycle) describe() string {
+	var b strings.Builder
+	for i, name := range c.names {
+		if i > 0 {
+			b.WriteString(" → ")
+		}
+		b.WriteString(name)
+	}
+	b.WriteString(" → ")
+	b.WriteString(c.names[0])
+	b.WriteString(" [")
+	for i, w := range c.witness {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(w)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// cycles finds the strongly connected components with more than one node
+// and reports, per component, the shortest cycle through its smallest
+// node id — one finding per deadlock-capable lock cluster, with a
+// deterministic representative path.
+func (g *orderGraph) cycles() []orderCycle {
+	sccs := g.tarjan()
+	var out []orderCycle
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Ints(scc)
+		in := make(map[int]bool, len(scc))
+		for _, n := range scc {
+			in[n] = true
+		}
+		cycle := g.shortestCycleFrom(scc[0], in)
+		if cycle == nil {
+			continue
+		}
+		c := orderCycle{nodes: cycle}
+		for i, n := range cycle {
+			c.names = append(c.names, g.names[n])
+			next := cycle[(i+1)%len(cycle)]
+			e := g.edges[n][next]
+			c.witness = append(c.witness, e.witness)
+			if i == 0 {
+				c.pos = e.pos
+			}
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// shortestCycleFrom BFS-walks edges restricted to the component and
+// returns the shortest start→…→start cycle, preferring smaller node ids
+// on ties for determinism.
+func (g *orderGraph) shortestCycleFrom(start int, in map[int]bool) []int {
+	prev := make(map[int]int)
+	queue := []int{start}
+	visited := map[int]bool{start: true}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		var succs []int
+		for to := range g.edges[n] {
+			if in[to] {
+				succs = append(succs, to)
+			}
+		}
+		sort.Ints(succs)
+		for _, to := range succs {
+			if to == start {
+				// Reconstruct start → … → n, closing at start.
+				var rev []int
+				for cur := n; cur != start; cur = prev[cur] {
+					rev = append(rev, cur)
+				}
+				path := []int{start}
+				for i := len(rev) - 1; i >= 0; i-- {
+					path = append(path, rev[i])
+				}
+				return path
+			}
+			if !visited[to] {
+				visited[to] = true
+				prev[to] = n
+				queue = append(queue, to)
+			}
+		}
+	}
+	return nil
+}
+
+// tarjan computes strongly connected components, deterministic over node
+// id order.
+func (g *orderGraph) tarjan() [][]int {
+	n := len(g.names)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		stack []int
+		next  int
+		out   [][]int
+	)
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []int
+		for to := range g.edges[v] {
+			succs = append(succs, to)
+		}
+		sort.Ints(succs)
+		for _, w := range succs {
+			if index[w] < 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, scc)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] < 0 {
+			strongconnect(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestOrderGraphCycles exercises the pure cycle reporter: SCC detection,
+// one representative (shortest, smallest-id-anchored) cycle per
+// component, witness threading and determinism.
+func TestOrderGraphCycles(t *testing.T) {
+	type edge struct{ from, to int }
+	tests := []struct {
+		name  string
+		nodes []string
+		edges []edge
+		want  [][]int // expected cycle node sequences, in output order
+	}{
+		{
+			name:  "acyclic chain",
+			nodes: []string{"a", "b", "c"},
+			edges: []edge{{0, 1}, {1, 2}, {0, 2}},
+			want:  nil,
+		},
+		{
+			name:  "two-node cycle",
+			nodes: []string{"a", "b"},
+			edges: []edge{{0, 1}, {1, 0}},
+			want:  [][]int{{0, 1}},
+		},
+		{
+			name:  "self edge ignored",
+			nodes: []string{"a"},
+			edges: []edge{{0, 0}},
+			want:  nil,
+		},
+		{
+			name:  "three-node ring",
+			nodes: []string{"a", "b", "c"},
+			edges: []edge{{0, 1}, {1, 2}, {2, 0}},
+			want:  [][]int{{0, 1, 2}},
+		},
+		{
+			// The SCC {0,1,2} contains both a long ring and a chord
+			// 1→0: the representative must be the SHORT cycle through
+			// the smallest id, not the full ring.
+			name:  "shortest representative preferred",
+			nodes: []string{"a", "b", "c"},
+			edges: []edge{{0, 1}, {1, 2}, {2, 0}, {1, 0}},
+			want:  [][]int{{0, 1}},
+		},
+		{
+			// Two independent deadlock clusters → exactly two findings,
+			// ordered by edge insertion (witness position) not discovery.
+			name:  "two components",
+			nodes: []string{"a", "b", "c", "d"},
+			edges: []edge{{0, 1}, {1, 0}, {2, 3}, {3, 2}},
+			want:  [][]int{{0, 1}, {2, 3}},
+		},
+		{
+			// A cycle with an acyclic tail hanging off it: the tail nodes
+			// are in no SCC and must not appear in the cycle.
+			name:  "tail excluded",
+			nodes: []string{"a", "b", "c", "d"},
+			edges: []edge{{0, 1}, {1, 0}, {1, 2}, {2, 3}},
+			want:  [][]int{{0, 1}},
+		},
+		{
+			// Ties between equal-length cycles resolve toward smaller
+			// successor ids: 0→1→0 beats 0→2→0 because BFS visits
+			// sorted successors.
+			name:  "tie broken by node id",
+			nodes: []string{"a", "b", "c"},
+			edges: []edge{{0, 2}, {2, 0}, {0, 1}, {1, 0}},
+			want:  [][]int{{0, 1}},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g := newOrderGraph()
+			for _, n := range tc.nodes {
+				g.addNode(n)
+			}
+			for i, e := range tc.edges {
+				// Distinct positions in insertion order so cycle output
+				// order (sorted by witness pos) is predictable.
+				g.addEdge(e.from, e.to, "w", token.Pos(i+1))
+			}
+			var got [][]int
+			for _, c := range g.cycles() {
+				got = append(got, c.nodes)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("cycles = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestOrderGraphWitnesses checks that each reported cycle carries one
+// witness per edge, in path order, and that describe() closes the loop.
+func TestOrderGraphWitnesses(t *testing.T) {
+	g := newOrderGraph()
+	a := g.addNode("store.mu")
+	b := g.addNode("sink.mu")
+	g.addEdge(a, b, "sink.mu under store.mu", token.Pos(10))
+	g.addEdge(b, a, "store.mu under sink.mu", token.Pos(20))
+	// A later duplicate edge must not displace the first witness.
+	g.addEdge(a, b, "later duplicate", token.Pos(30))
+
+	cycles := g.cycles()
+	if len(cycles) != 1 {
+		t.Fatalf("got %d cycles, want 1", len(cycles))
+	}
+	c := cycles[0]
+	if want := []string{"sink.mu under store.mu", "store.mu under sink.mu"}; !reflect.DeepEqual(c.witness, want) {
+		t.Errorf("witness = %q, want %q", c.witness, want)
+	}
+	if c.pos != token.Pos(10) {
+		t.Errorf("cycle pos = %v, want first edge's pos 10", c.pos)
+	}
+	desc := c.describe()
+	if want := "store.mu → sink.mu → store.mu"; !strings.HasPrefix(desc, want) {
+		t.Errorf("describe() = %q, want prefix %q", desc, want)
+	}
+	if !strings.Contains(desc, "[sink.mu under store.mu; store.mu under sink.mu]") {
+		t.Errorf("describe() = %q, missing ordered witness list", desc)
+	}
+}

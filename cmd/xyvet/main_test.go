@@ -19,8 +19,7 @@ type wantKey struct {
 
 // collectWants gathers the `// want rule[ rule...]` annotations of a
 // loaded fixture package, keyed by (file, line, rule) with counts.
-func collectWants(pkg *Package) map[wantKey]int {
-	wants := make(map[wantKey]int)
+func collectWants(pkg *Package, wants map[wantKey]int) {
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -36,7 +35,6 @@ func collectWants(pkg *Package) map[wantKey]int {
 			}
 		}
 	}
-	return wants
 }
 
 func fixtureRoot(t *testing.T) (root, modpath, fixtures string) {
@@ -52,37 +50,51 @@ func fixtureRoot(t *testing.T) (root, modpath, fixtures string) {
 	return root, modpath, filepath.Join(cwd, "testdata", "src")
 }
 
-// TestFixtures runs the full analyzer suite over every fixture package
+// TestFixtures runs the full analyzer suite over every fixture subtree
 // and requires the finding set to match the `// want` annotations
-// exactly — each analyzer has positive and negative cases there.
+// exactly — each analyzer has positive and negative cases there. Each
+// fixture gets a fresh loader so the engine's call graph covers exactly
+// that fixture plus its dependency closure.
 func TestFixtures(t *testing.T) {
 	root, modpath, fixtures := fixtureRoot(t)
 	entries, err := os.ReadDir(fixtures)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ld := newLoader(root, modpath)
 	total := 0
 	for _, e := range entries {
 		if !e.IsDir() {
 			continue
 		}
 		t.Run(e.Name(), func(t *testing.T) {
-			pkg, err := ld.loadDir(filepath.Join(fixtures, e.Name()))
+			dirs, err := expandPatterns(root, root, []string{"./cmd/xyvet/testdata/src/" + e.Name() + "/..."})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if pkg == nil {
+			ld := newLoader(root, modpath)
+			pkgs, err := ld.loadAll(dirs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := make(map[wantKey]int)
+			analyzed := 0
+			for _, pkg := range pkgs {
+				if !pkg.Analyzed {
+					continue
+				}
+				analyzed++
+				for _, terr := range pkg.TypeErrors {
+					t.Errorf("type error: %v", terr)
+				}
+				collectWants(pkg, wants)
+			}
+			if analyzed == 0 {
 				t.Fatal("fixture has no Go files")
 			}
-			for _, terr := range pkg.TypeErrors {
-				t.Errorf("type error: %v", terr)
-			}
-			wants := collectWants(pkg)
 			total += len(wants)
 			got := make(map[wantKey]int)
-			for _, f := range analyze(pkg) {
-				pos := pkg.Fset.Position(f.Pos)
+			for _, f := range analyzeAll(pkgs, nil) {
+				pos := ld.fset.Position(f.Pos)
 				got[wantKey{filepath.Base(pos.Filename), pos.Line, f.Rule}]++
 			}
 			var keys []wantKey
@@ -116,12 +128,37 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
+// TestEngineGolden pins the full CLI output over the engine fixture — a
+// two-package module slice whose deliberate lock cycle is only visible
+// once interface calls are resolved across package boundaries and the
+// summaries reach their fixpoint. The golden file catches any drift in
+// call-graph construction, witness selection or message rendering.
+func TestEngineGolden(t *testing.T) {
+	root, _, _ := fixtureRoot(t)
+	var buf bytes.Buffer
+	n, err := run(&buf, root, []string{"./cmd/xyvet/testdata/src/engine/..."}, options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "engine.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("engine fixture output drifted from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+	if wantN := strings.Count(string(want), "\n"); n != wantN {
+		t.Errorf("run reported %d findings, golden has %d lines", n, wantN)
+	}
+}
+
 // TestFixturesExitNonZero mirrors the CLI contract: vetting the seeded
 // fixture tree reports findings (non-zero exit), one line each.
 func TestFixturesExitNonZero(t *testing.T) {
 	root, _, _ := fixtureRoot(t)
 	var buf bytes.Buffer
-	n, err := run(&buf, root, []string{"./cmd/xyvet/testdata/src/..."})
+	n, err := run(&buf, root, []string{"./cmd/xyvet/testdata/src/..."}, options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +179,7 @@ func TestCleanTree(t *testing.T) {
 	}
 	root, _, _ := fixtureRoot(t)
 	var buf bytes.Buffer
-	n, err := run(&buf, root, []string{"./..."})
+	n, err := run(&buf, root, []string{"./..."}, options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +204,7 @@ func TestExpandPatterns(t *testing.T) {
 	if _, err := expandPatterns(root, root, []string{"../..."}); err == nil {
 		t.Error("pattern outside the module was accepted")
 	}
-	if _, err := run(io.Discard, root, []string{"./no/such/dir"}); err == nil {
+	if _, err := run(io.Discard, root, []string{"./no/such/dir"}, options{}); err == nil {
 		t.Error("missing directory was accepted")
 	}
 }

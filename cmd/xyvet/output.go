@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// baselineHeader opens every baseline file written by -write-baseline.
+// The CI selftest asserts the committed baseline is byte-identical to a
+// fresh run, so the header must be stable.
+const baselineHeader = `# xyvet baseline — allowlisted findings, one per line exactly as xyvet
+# prints them (module-root-relative). A run with -baseline fails only on
+# findings missing from this file, so a new strict rule can land without
+# blocking unrelated work. Shrink this file to zero: fix the finding,
+# then regenerate with -write-baseline.
+`
+
+// renderFindings formats findings as the canonical output lines,
+// module-root-relative so baseline files are stable across working
+// directories.
+func renderFindings(fset *token.FileSet, root string, findings []Finding) []string {
+	lines := make([]string, 0, len(findings))
+	for _, f := range findings {
+		pos := fset.Position(f.Pos)
+		lines = append(lines, fmt.Sprintf("%s:%d:%d: [%s] %s", relPath(root, pos.Filename), pos.Line, pos.Column, f.Rule, f.Msg))
+	}
+	return lines
+}
+
+// writeBaselineFile writes the canonical baseline: header plus the
+// already-sorted finding lines.
+func writeBaselineFile(path string, lines []string) error {
+	var b strings.Builder
+	b.WriteString(baselineHeader)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// readBaselineFile parses a baseline into a multiset of finding lines.
+// Blank lines and #-comments are skipped.
+func readBaselineFile(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	allowed := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		allowed[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return allowed, nil
+}
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// writeJSON renders the canonical text lines as a JSON array. Parsing
+// the lines (rather than carrying positions separately) keeps the two
+// output modes provably consistent.
+func writeJSON(out io.Writer, lines []string) error {
+	arr := make([]jsonFinding, 0, len(lines))
+	for _, l := range lines {
+		jf, ok := parseFindingLine(l)
+		if !ok {
+			return fmt.Errorf("internal error: unparseable finding line %q", l)
+		}
+		arr = append(arr, jf)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(arr)
+}
+
+// parseFindingLine splits "file:line:col: [rule] msg".
+func parseFindingLine(l string) (jsonFinding, bool) {
+	i := strings.Index(l, ": [")
+	if i < 0 {
+		return jsonFinding{}, false
+	}
+	head, rest := l[:i], l[i+3:]
+	j := strings.Index(rest, "] ")
+	if j < 0 {
+		return jsonFinding{}, false
+	}
+	rule, msg := rest[:j], rest[j+2:]
+	parts := strings.Split(head, ":")
+	if len(parts) < 3 {
+		return jsonFinding{}, false
+	}
+	var line, col int
+	if _, err := fmt.Sscanf(parts[len(parts)-2]+" "+parts[len(parts)-1], "%d %d", &line, &col); err != nil {
+		return jsonFinding{}, false
+	}
+	return jsonFinding{
+		File: strings.Join(parts[:len(parts)-2], ":"),
+		Line: line,
+		Col:  col,
+		Rule: rule,
+		Msg:  msg,
+	}, true
+}

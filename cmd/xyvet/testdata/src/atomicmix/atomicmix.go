@@ -1,0 +1,47 @@
+// Package atomicmix exercises the atomic/plain mixing analyzer: a field
+// touched through sync/atomic anywhere in the module must never be read
+// or written plainly outside its constructor.
+package atomicmix
+
+import "sync/atomic"
+
+type Counter struct {
+	n    uint64        // accessed via sync/atomic
+	m    uint64        // plain field, never atomic
+	safe atomic.Uint64 // typed atomic: mixing is impossible by construction
+}
+
+// NewCounter initialises plainly — the value has not escaped yet, so the
+// owning constructor is exempt.
+func NewCounter(start uint64) *Counter {
+	c := &Counter{}
+	c.n = start
+	return c
+}
+
+// Inc is the atomic access that puts n in the atomic set.
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// Bad reads n plainly: unsynchronized with Inc — a data race even
+// though it "only reads".
+func (c *Counter) Bad() uint64 {
+	return c.n // want atomicmix
+}
+
+// BadWrite resets n plainly outside the constructor.
+func (c *Counter) BadWrite() {
+	c.n = 0 // want atomicmix
+}
+
+// Good uses the matching atomic load.
+func (c *Counter) Good() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// Plain fields and typed atomics never mix by definition.
+func (c *Counter) Other() uint64 {
+	c.m++
+	return c.safe.Load()
+}

@@ -1,6 +1,8 @@
 // Package connguard is the fixture for the connguard analyzer: direct
-// net.Conn Read/Write calls must be preceded by a deadline call in the
-// same function; conn-wrapper methods are exempt.
+// net.Conn Read/Write calls must be preceded by a deadline call earlier
+// in the function or inside one of its callees (the rule is
+// interprocedural through function summaries); conn-wrapper methods are
+// exempt.
 package connguard
 
 import (
@@ -43,6 +45,29 @@ func deadlineAfterRead(c net.Conn) error {
 		return err
 	}
 	return c.SetDeadline(time.Time{}) // too late for the read above
+}
+
+// prepare sets the deadline on the caller's behalf; the summary marks it
+// as a deadline-setting function.
+func prepare(c net.Conn) error {
+	return c.SetDeadline(time.Now().Add(time.Second))
+}
+
+func guardedViaCallee(c net.Conn) ([]byte, error) {
+	if err := prepare(c); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64)
+	_, err := c.Read(buf) // guarded: prepare set the deadline
+	return buf, err
+}
+
+func calleeAfterRead(c net.Conn) error {
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != nil { // want connguard
+		return err
+	}
+	return prepare(c) // too late for the read above
 }
 
 func notAConn(w io.Writer) error {

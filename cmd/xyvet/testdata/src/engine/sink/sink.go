@@ -1,0 +1,33 @@
+// Package sink is the other half of the cross-package engine fixture:
+// Buffered satisfies store.Sink, so the engine resolves Store.Push's
+// interface call here and closes the lock cycle through Flush.
+package sink
+
+import (
+	"sync"
+
+	"xymon/cmd/xyvet/testdata/src/engine/store"
+)
+
+type Buffered struct {
+	mu  sync.Mutex
+	st  *store.Store
+	buf []int
+}
+
+// Drain is the store.Sink implementation Push reaches via interface
+// dispatch; it takes Buffered.mu while Store.mu is already held.
+func (b *Buffered) Drain(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, v)
+}
+
+// Flush takes Buffered.mu then calls back into the store, which takes
+// Store.mu — the opposite nesting order from Push→Drain.
+func (b *Buffered) Flush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = b.buf[:0]
+	b.st.Reindex() // want lockorder
+}

@@ -1,0 +1,59 @@
+// Package store is half of the cross-package engine fixture: its lock
+// nests the sink's lock through an interface call that only the
+// module-wide call graph can resolve.
+package store
+
+import "sync"
+
+// Sink is the cross-package plug point; its only implementation lives in
+// the sibling sink package.
+type Sink interface {
+	Drain(v int)
+}
+
+type Store struct {
+	mu   sync.Mutex
+	sink Sink
+	n    int
+}
+
+// Push locks Store.mu, then calls the interface: the engine resolves the
+// call to sink.Buffered.Drain, whose own lock makes this the first half
+// of the deliberate cross-package lock cycle.
+func (s *Store) Push(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	s.sink.Drain(v) // want lockcheck
+}
+
+// Reindex is what the sink calls back into while holding its lock — the
+// other half of the cycle.
+func (s *Store) Reindex() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = 0
+}
+
+// park blocks; spin reaches it through mutual recursion, so the
+// may-block fact only stabilises at the summary fixpoint.
+func (s *Store) park(ch chan int, depth int) {
+	if depth > 0 {
+		s.spin(ch, depth-1)
+		return
+	}
+	ch <- s.n
+}
+
+func (s *Store) spin(ch chan int, depth int) {
+	if depth > 0 {
+		s.park(ch, depth-1)
+	}
+}
+
+// Publish holds the lock across the recursive chain down to the send.
+func (s *Store) Publish(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.park(ch, 2) // want deeplock
+}

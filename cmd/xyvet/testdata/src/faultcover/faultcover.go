@@ -1,0 +1,65 @@
+// Package faultcover exercises the fault-coverage analyzer: raw I/O
+// reachable from a pipeline entry point must flow through an
+// internal/faults injection point or a wrapper registered with
+// //xyvet:faultpoint. Fixture entry points are marked //xyvet:faultentry
+// (in the real tree, every exported function of the pipeline packages is
+// a root automatically).
+package faultcover
+
+import (
+	"os"
+
+	"xymon/internal/faults"
+)
+
+var inj = faults.New(1)
+
+// Flush is an entry point whose write path never consults the injector:
+// both raw operations in the helper below are unreachable by any chaos
+// test.
+//
+//xyvet:faultentry
+func Flush(f *os.File, data []byte) error {
+	return writeRaw(f, data)
+}
+
+func writeRaw(f *os.File, data []byte) error {
+	if _, err := f.Write(data); err != nil { // want faultcover
+		return err
+	}
+	return f.Sync() // want faultcover
+}
+
+// Covered consults the injector first; everything below the consult is
+// injectable, so the raw write is fine.
+//
+//xyvet:faultentry
+func Covered(f *os.File, data []byte) error {
+	if err := inj.Check(faults.PointCommit, "fixture"); err != nil {
+		return err
+	}
+	_, err := f.Write(data)
+	return err
+}
+
+// wrapped is a registered wrapper: the wiring guarantees faults are
+// injected around it, so the walk does not descend into it.
+//
+//xyvet:faultpoint
+func wrapped(f *os.File, data []byte) error {
+	_, err := f.Write(data)
+	return err
+}
+
+// ViaWrapper reaches raw I/O only through the registered wrapper.
+//
+//xyvet:faultentry
+func ViaWrapper(f *os.File, data []byte) error {
+	return wrapped(f, data)
+}
+
+// helper is NOT reachable from any entry point; its raw I/O is a
+// non-finding even though nothing covers it.
+func helper(f *os.File) error {
+	return f.Sync()
+}

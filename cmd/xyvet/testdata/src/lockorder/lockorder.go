@@ -1,0 +1,70 @@
+// Package lockorder exercises the lock-ordering analyzer: inconsistent
+// acquisition order across functions (a cycle in the module lock graph)
+// and same-lock re-acquisition, against the legitimate patterns that
+// must stay silent.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+)
+
+// TakeAB nests b.mu under a.mu — one direction of the cycle. The cycle
+// is reported once, at the edge out of the first lock class.
+func TakeAB() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want lockorder
+	defer b.mu.Unlock()
+}
+
+// TakeBA acquires in the opposite order, through a call: the callee's
+// acquisition summary closes the cycle b → a.
+func TakeBA() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockA()
+}
+
+func lockA() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// Reacquire takes the same lock through the same receiver while already
+// holding it — a definite self-deadlock, not just an ordering hazard.
+func Reacquire() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mu.Lock() // want lockorder
+	a.mu.Unlock()
+}
+
+// Nest locks two *instances* of the same class. The class-level graph
+// cannot tell them apart, so same-class self-edges are deliberately not
+// reported (instances may nest legitimately, e.g. parent/child).
+func Nest(x, y *A) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	defer y.mu.Unlock()
+}
+
+// Consistent repeats TakeAB's order elsewhere: same direction twice is
+// a DAG, not a cycle — the pair above is what breaks it.
+func Consistent() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockB()
+}
+
+func lockB() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"xymon/internal/core"
+	"xymon/internal/faults"
 )
 
 // ErrBlockDown reports a block skipped because it exhausted its retry
@@ -32,6 +33,7 @@ type clientConfig struct {
 	downBase    time.Duration
 	downMax     time.Duration
 	clock       func() time.Time
+	faults      *faults.Injector
 }
 
 // ClientOption configures DialWith.
@@ -41,6 +43,15 @@ type ClientOption func(*clientConfig)
 // wrap every produced conn; production could add TLS.
 func WithDialer(dial func(addr string) (net.Conn, error)) ClientOption {
 	return func(c *clientConfig) { c.dialer = dial }
+}
+
+// WithInjector arms the default dialer's fault seam: dials and every
+// Read/Write of the produced connections consult in at
+// faults.PointConn. A nil injector (the default) keeps the seam
+// transparent, so the production and chaos configurations differ only
+// by the injector, not by the code path.
+func WithInjector(in *faults.Injector) ClientOption {
+	return func(c *clientConfig) { c.faults = in }
 }
 
 // WithTimeouts bounds connection establishment and each request/response
@@ -161,10 +172,10 @@ func DialWith(opts []ClientOption, addrs ...string) (*Client, error) {
 		o(&cfg)
 	}
 	if cfg.dialer == nil {
-		dialTimeout := cfg.dialTimeout
-		cfg.dialer = func(addr string) (net.Conn, error) {
-			return net.DialTimeout("tcp", addr, dialTimeout)
-		}
+		// The default dialer goes through the fault seam even when no
+		// injector is installed (nil makes the wrapper transparent): the
+		// chaos path and the production path are the same code.
+		cfg.dialer = faults.Dialer(cfg.faults, faults.PointConn, cfg.dialTimeout)
 	}
 	c := &Client{cfg: cfg}
 	for _, addr := range addrs {

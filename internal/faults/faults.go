@@ -45,6 +45,11 @@ const (
 	// legitimate duplicate the at-least-once contract allows.
 	PointDeliveryAck Point = "delivery.ack"
 
+	// PointSave fires in the warehouse before a snapshot's manifest
+	// installs (after the fsynced temp file is written, before the rename
+	// commits it) — the torn-install window of Store.Save.
+	PointSave Point = "warehouse.save"
+
 	// The WAL's durability points (the wal package reports them to its
 	// Hook by these same strings; it cannot import this package, so the
 	// names are duplicated by contract, pinned by a test).
@@ -53,6 +58,11 @@ const (
 	PointWALCheckpointTemp    Point = "wal.checkpoint.temp"
 	PointWALCheckpointInstall Point = "wal.checkpoint.install"
 	PointWALCheckpointCompact Point = "wal.checkpoint.compact"
+	// The File-level pair sits one level below the Log's append points:
+	// wal.file.append fires before the OS write, wal.file.sync between
+	// the write and the fsync — the page-cache window.
+	PointWALFileAppend Point = "wal.file.append"
+	PointWALFileSync   Point = "wal.file.sync"
 )
 
 // Mode is the kind of fault a rule injects.

@@ -297,6 +297,8 @@ func TestWALPointNamesMatch(t *testing.T) {
 		PointWALCheckpointTemp:    wal.OpCheckpointTemp,
 		PointWALCheckpointInstall: wal.OpCheckpointInstall,
 		PointWALCheckpointCompact: wal.OpCheckpointCompact,
+		PointWALFileAppend:        wal.OpFileAppend,
+		PointWALFileSync:          wal.OpFileSync,
 	}
 	for p, op := range pairs {
 		if string(p) != op {

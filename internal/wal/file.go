@@ -7,6 +7,16 @@ import (
 	"sync"
 )
 
+// The File's own durability points, reported to its Hook. They sit one
+// level below the Log's wal.append/wal.append.done pair: OpFileAppend
+// fires before the OS write, OpFileSync after the write but before the
+// fsync, so a crash harness can kill in the window where data is in the
+// page cache but not yet durable.
+const (
+	OpFileAppend = "wal.file.append"
+	OpFileSync   = "wal.file.sync"
+)
+
 // FileOptions configures a File.
 type FileOptions struct {
 	// Framing delimits records; nil means Binary{}.
@@ -17,6 +27,11 @@ type FileOptions struct {
 	// immediately; only the fsync is batched, so a process crash loses
 	// nothing and a machine crash loses at most the last N-1 records.
 	SyncEvery int
+	// Hook, when non-nil, is consulted at OpFileAppend and OpFileSync
+	// with the file path as key; an error fails the operation before the
+	// write (or fsync) happens. This is the File's fault seam — the Log
+	// has its own coarser hook around whole appends and checkpoints.
+	Hook Hook
 }
 
 // File is one append-only log file of frames. The handle is opened once
@@ -28,6 +43,7 @@ type File struct {
 	path     string
 	f        *os.File
 	fr       Framing
+	hook     Hook
 	every    int
 	unsynced int
 	buf      []byte
@@ -51,7 +67,14 @@ func OpenFile(path string, o FileOptions) (*File, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	return &File{path: path, f: f, fr: o.Framing, every: o.SyncEvery, size: st.Size()}, nil
+	return &File{path: path, f: f, fr: o.Framing, hook: o.Hook, every: o.SyncEvery, size: st.Size()}, nil
+}
+
+func (w *File) consult(op string) error {
+	if w.hook == nil {
+		return nil
+	}
+	return w.hook(op, w.path)
 }
 
 // Append frames payload onto the file. The write reaches the OS before
@@ -63,6 +86,9 @@ func (w *File) Append(payload []byte) error {
 }
 
 func (w *File) appendLocked(payload []byte) error {
+	if err := w.consult(OpFileAppend); err != nil {
+		return err
+	}
 	// Framing is pure byte manipulation (Binary/Lines); it cannot block
 	// or call back into the File.
 	//xyvet:ignore lockcheck
@@ -85,6 +111,9 @@ func (w *File) appendLocked(payload []byte) error {
 func (w *File) syncLocked() error {
 	if w.unsynced == 0 {
 		return nil
+	}
+	if err := w.consult(OpFileSync); err != nil {
+		return err
 	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
@@ -153,6 +182,12 @@ func (w *File) Replay(fn func(payload []byte) error) error {
 // durable. Every os.Rename that installs a freshly created file must be
 // followed by a SyncDir of its parent — the walfsync analyzer enforces
 // this shape tree-wide.
+//
+// This is a registered durability primitive: faults are injected by the
+// hooks and injector checks surrounding its call sites (the Log's
+// checkpoint ops, the warehouse save point), not inside it.
+//
+//xyvet:faultpoint
 func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
@@ -171,6 +206,12 @@ func SyncDir(dir string) error {
 // WriteFileSync writes data to path and fsyncs it — os.WriteFile plus
 // the durability the crash-recovery discipline requires before a rename
 // can install the file.
+//
+// This is a registered durability primitive: faults are injected by the
+// hooks and injector checks surrounding its call sites (the Log's
+// checkpoint ops, the warehouse save point), not inside it.
+//
+//xyvet:faultpoint
 func WriteFileSync(path string, data []byte, perm os.FileMode) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, perm)
 	if err != nil {

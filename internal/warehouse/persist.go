@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"xymon/internal/faults"
 	"xymon/internal/wal"
 	"xymon/internal/xmldom"
 )
@@ -91,6 +92,12 @@ func (s *Store) Save(dir string) error {
 	// directory sync a crash right after Save can lose the rename itself.
 	tmp := filepath.Join(dir, "manifest.json.tmp")
 	if err := wal.WriteFileSync(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("warehouse: %w", err)
+	}
+	// The fault seam sits in the torn-install window: the temp manifest
+	// is durable but not yet renamed into place, so a crash injected here
+	// must leave the previous snapshot intact and loadable.
+	if err := s.faults.Check(faults.PointSave, dir); err != nil {
 		return fmt.Errorf("warehouse: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, "manifest.json")); err != nil {

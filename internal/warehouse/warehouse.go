@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"xymon/internal/faults"
 	"xymon/internal/xmldom"
 	"xymon/internal/xydiff"
 )
@@ -116,6 +117,7 @@ type Store struct {
 	nextDoc uint64
 	nextDTD uint64
 	clock   func() time.Time
+	faults  *faults.Injector
 }
 
 // Option configures a Store.
@@ -125,6 +127,14 @@ type Option func(*Store)
 // use a virtual clock.
 func WithClock(clock func() time.Time) Option {
 	return func(s *Store) { s.clock = clock }
+}
+
+// WithInjector installs a fault injector consulted at the store's
+// durability seam (faults.PointSave, fired in Save between the fsynced
+// temp manifest and the rename that installs it). A nil injector keeps
+// the seam transparent.
+func WithInjector(in *faults.Injector) Option {
+	return func(s *Store) { s.faults = in }
 }
 
 // NewStore returns an empty repository.
