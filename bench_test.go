@@ -4,6 +4,7 @@
 package xymon
 
 import (
+	"bytes"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -550,6 +551,98 @@ report when notifications.count > 1000`, i, i%1000, vocab[i%len(vocab)])
 		if _, err := sys.Subscribe(src); err != nil {
 			b.Fatalf("Subscribe: %v", err)
 		}
+	}
+}
+
+// BenchmarkParse compares the two DOM construction paths over the same
+// serialized catalog: the stdlib-decoder Parse (kept as the
+// differential-fuzz reference) against ParseBytes, the byte tokenizer
+// with arena node allocation the crawler ingests through.
+func BenchmarkParse(b *testing.B) {
+	site := webgen.NewSite(webgen.SiteSpec{Products: 100, Seed: 12})
+	url := site.XMLURLs()[0]
+	data := site.FetchXMLBytes(url, 5)
+	b.Run("stdlib", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := xmldom.Parse(bytes.NewReader(data)); err != nil {
+				b.Fatalf("Parse: %v", err)
+			}
+		}
+	})
+	b.Run("bytes", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := xmldom.ParseBytes(data); err != nil {
+				b.Fatalf("ParseBytes: %v", err)
+			}
+		}
+	})
+}
+
+// BenchmarkCrawlAlert measures a full crawl→alert round over a corpus
+// where few pages can interest anybody: the subscriptions watch a word
+// carried by roughly one page in twenty (webgen's RareWord), so the
+// streaming ingest gate can reject the rest from the serialized bytes
+// before any DOM exists. The prefilter/alwaysdom ratio is the headline
+// number of the zero-copy path. The subscriptions are presence-only on
+// purpose — a URL clause or an element change condition is a standing
+// reason to parse everything, which would disable the gate (see the
+// gate construction in New).
+func BenchmarkCrawlAlert(b *testing.B) {
+	const word = "zyzzyva" // outside webgen's vocabulary: only RareWord pages match
+	for _, mode := range []struct {
+		name        string
+		alwaysParse bool
+	}{
+		{"prefilter", false},
+		{"alwaysdom", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			start := time.Date(2001, 5, 21, 0, 0, 0, 0, time.UTC)
+			now := start
+			sys, err := New(Options{
+				Clock:       func() time.Time { return now },
+				Delivery:    DeliveryFunc(func(*Report) error { return nil }),
+				AlwaysParse: mode.alwaysParse,
+			})
+			if err != nil {
+				b.Fatalf("New: %v", err)
+			}
+			for i := 0; i < 50; i++ {
+				src := fmt.Sprintf(`subscription Watch%d
+monitoring
+select <Hit/>
+where product contains %q
+report when notifications.count > 1000000`, i, word)
+				if _, err := sys.Subscribe(src); err != nil {
+					b.Fatalf("Subscribe: %v", err)
+				}
+			}
+			for i := 0; i < shortScale([]int{20}, []int{2})[0]; i++ {
+				sys.AddSite(NewSite(SiteSpec{
+					BaseURL: fmt.Sprintf("http://mall%d.example", i),
+					Pages:   50, Products: 30, Seed: int64(i),
+					RareWord: word, RareEvery: 20,
+				}))
+			}
+			pages := sys.Crawler.Pages()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Cycle the virtual clock over a bounded version window so
+				// every round re-crawls changed content without webgen's
+				// per-version churn replay growing with b.N.
+				now = start.Add(time.Duration(i%8) * sys.Crawler.ChangeEvery)
+				sys.Crawler.FetchAll()
+			}
+			b.StopTimer()
+			st := sys.Stats()
+			if st.Crawler.Fetches > 0 {
+				b.ReportMetric(100*float64(st.Crawler.Skipped)/float64(st.Crawler.Fetches), "skip%")
+			}
+			b.ReportMetric(float64(b.N*pages)/b.Elapsed().Seconds(), "pages/s")
+		})
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"xymon/internal/reporter"
 	"xymon/internal/sublang"
 	"xymon/internal/webgen"
+	"xymon/internal/xmldom"
 	"xymon/internal/xydiff"
 )
 
@@ -152,6 +154,78 @@ report when notifications.count > 1000000`, i, i%50, vocab[i%len(vocab)])
 		results = append(results, measure("manager/processdoc", 500*time.Millisecond, 128, func(i int) {
 			sys.Manager.ProcessDoc(docs[i%len(docs)])
 		}).withDocsRate())
+	}
+
+	// Ingest parse path: the stdlib-decoder Parse (kept as the
+	// differential-fuzz reference) against ParseBytes, the byte tokenizer
+	// with arena node allocation, over the same serialized catalog.
+	{
+		site := webgen.NewSite(webgen.SiteSpec{Products: 100, Seed: 12})
+		data := site.FetchXMLBytes(site.XMLURLs()[0], 5)
+		results = append(results, measure("xmldom/parse", 300*time.Millisecond, 256, func(i int) {
+			if _, err := xmldom.Parse(bytes.NewReader(data)); err != nil {
+				panic(err)
+			}
+		}).withDocsRate())
+		results = append(results, measure("xmldom/parsebytes", 300*time.Millisecond, 256, func(i int) {
+			if _, err := xmldom.ParseBytes(data); err != nil {
+				panic(err)
+			}
+		}).withDocsRate())
+	}
+
+	// Crawl→alert ingest: full crawl rounds over a corpus where roughly
+	// one page in twenty carries the subscribed word (webgen's RareWord),
+	// with the streaming pre-filter gate on vs off. Numbers are per page;
+	// the ratio is the gate's effect. The subscriptions are presence-only
+	// on purpose — a URL clause or an element change condition would be a
+	// standing reason to parse every page, disabling the gate.
+	for _, mode := range []struct {
+		name        string
+		alwaysParse bool
+	}{
+		{"e2e/crawl-alert/prefilter", false},
+		{"e2e/crawl-alert/alwaysdom", true},
+	} {
+		start := time.Date(2001, 5, 21, 0, 0, 0, 0, time.UTC)
+		now := start
+		sys, err := xymon.New(xymon.Options{
+			Clock:       func() time.Time { return now },
+			Delivery:    xymon.DeliveryFunc(func(*xymon.Report) error { return nil }),
+			AlwaysParse: mode.alwaysParse,
+		})
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 50; i++ {
+			src := fmt.Sprintf(`subscription Watch%d
+monitoring
+select <Hit/>
+where product contains "zyzzyva"
+report when notifications.count > 1000000`, i)
+			if _, err := sys.Subscribe(src); err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < scale(20); i++ {
+			sys.AddSite(xymon.NewSite(xymon.SiteSpec{
+				BaseURL: fmt.Sprintf("http://mall%d.example", i),
+				Pages:   50, Products: 30, Seed: int64(i),
+				RareWord: "zyzzyva", RareEvery: 20,
+			}))
+		}
+		pages := sys.Crawler.Pages()
+		r := measure(mode.name, 500*time.Millisecond, 8, func(i int) {
+			// Cycle the virtual clock over a bounded version window so
+			// every round re-crawls changed content without webgen's
+			// per-version churn replay growing with the iteration count.
+			now = start.Add(time.Duration(i%8) * sys.Crawler.ChangeEvery)
+			sys.Crawler.FetchAll()
+		})
+		// One op crawls every page; normalise to per-page numbers.
+		r.NsPerOp /= float64(pages)
+		r.AllocsPerOp /= float64(pages)
+		results = append(results, r.withDocsRate())
 	}
 
 	// Diff path: version-chain delta computation with the warehouse's

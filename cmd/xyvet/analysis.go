@@ -90,6 +90,11 @@ var analyzers = []*Analyzer{
 		Doc:  "direct hash/fnv constructors outside internal/xmldom; use the cached xmldom hashing primitives",
 		Run:  runHashcache,
 	},
+	{
+		Name: "rawxml",
+		Doc:  "encoding/xml imports outside internal/xmldom; the zero-copy ingest path must stay on the byte tokenizer",
+		Run:  runRawxml,
+	},
 }
 
 // ruleTiming accumulates per-rule wall time (cumulative across workers)

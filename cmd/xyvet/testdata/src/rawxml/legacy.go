@@ -1,0 +1,9 @@
+package rawxml
+
+// A justified exception stays suppressible, as with every rule.
+import xmlenc "encoding/xml" //xyvet:ignore rawxml legacy export format needs the streaming encoder
+
+// Marshal keeps the suppressed import in use.
+func Marshal(v any) ([]byte, error) {
+	return xmlenc.Marshal(v)
+}

@@ -74,10 +74,19 @@ func (p *Pipeline) Unregister(code core.Event, cond sublang.Condition) {
 type detectScratch struct {
 	events []core.Event
 	emit   func(core.Event)
+	// seen dedups self-contains words; frames and words are the explicit
+	// stacks of detectPresence's iterative walk. They live on the same
+	// scratch so the common no-match document allocates nothing.
+	seen   map[string]bool
+	frames []presenceFrame
+	words  []string
 }
 
 var detectPool = sync.Pool{New: func() any {
-	sc := &detectScratch{events: make([]core.Event, 0, 16)}
+	sc := &detectScratch{
+		events: make([]core.Event, 0, 16),
+		seen:   make(map[string]bool, 8),
+	}
 	sc.emit = func(c core.Event) { sc.events = append(sc.events, c) }
 	return sc
 }}
@@ -90,7 +99,7 @@ func (p *Pipeline) Detect(d *Doc) *Alert {
 	sc.events = sc.events[:0]
 	p.URL.Detect(d, sc.emit)
 	if d.Meta.Type == warehouse.XML {
-		p.XML.Detect(d, sc.emit)
+		p.XML.detectWith(d, sc.emit, sc)
 	} else {
 		p.HTML.Detect(d, sc.emit)
 	}

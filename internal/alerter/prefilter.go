@@ -1,0 +1,162 @@
+package alerter
+
+import (
+	"sync"
+	"unicode"
+	"unicode/utf8"
+
+	"xymon/internal/xmldom"
+)
+
+// Prefilter answers "could this serialized document possibly raise a
+// presence or self-contains event?" by running the XML alerter's word
+// tables (Figure 8) directly over the token stream: a tag stack plus a
+// word scanner over the raw character data — no tree, no per-word string
+// allocations. The crawler consults it before parsing, so the common
+// document — interesting to nobody and not version-tracked — is rejected
+// before any DOM work.
+//
+// Match is exact with respect to detectPresence and detectSelfContains:
+// it returns true if and only if XMLAlerter.Detect would emit at least
+// one presence or self-contains event on the parsed document
+// (FuzzPrefilter holds the "never a false negative" half of that
+// equivalence). Change conditions and version tracking are the ingest
+// gate's business, not the pre-filter's.
+type Prefilter struct {
+	x *XMLAlerter
+}
+
+// NewPrefilter returns a pre-filter reading the alerter's live tables;
+// conditions registered later are picked up automatically.
+func NewPrefilter(x *XMLAlerter) *Prefilter {
+	return &Prefilter{x: x}
+}
+
+// prefilterScratch is the pooled per-call state: the tokenizer, the
+// open-tag stack (sub-slices of the input, nothing copied), the entity
+// decode buffer and the current word.
+type prefilterScratch struct {
+	tok  xmldom.Tokenizer
+	tags [][]byte
+	text []byte
+	word []byte
+}
+
+var prefilterPool = sync.Pool{New: func() any { return new(prefilterScratch) }}
+
+// Match reports whether the serialized document could raise an element
+// presence or self-contains event. A tokenizer error returns true: a
+// malformed document is the parser's error to surface, not the
+// pre-filter's to swallow.
+func (p *Prefilter) Match(data []byte) bool {
+	x := p.x
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if len(x.contains) == 0 && len(x.strict) == 0 && len(x.selfContains) == 0 {
+		return false
+	}
+	sc := prefilterPool.Get().(*prefilterScratch)
+	defer func() {
+		sc.tok.Reset(nil)
+		clear(sc.tags) // drop references into the caller's buffer
+		sc.tags = sc.tags[:0]
+		prefilterPool.Put(sc)
+	}()
+	sc.tok.Reset(data)
+	sawElement := false
+	for {
+		k, err := sc.tok.Next()
+		if err != nil {
+			return true
+		}
+		switch k {
+		case xmldom.TokEOF:
+			// A rootless token stream is an ErrNoRoot for the parser to
+			// surface, like any other malformed input.
+			return !sawElement
+		case xmldom.TokStart:
+			sawElement = true
+			sc.tags = append(sc.tags, sc.tok.Tag())
+		case xmldom.TokEnd:
+			sc.tags = sc.tags[:len(sc.tags)-1]
+		case xmldom.TokText:
+			// Top-level character data never reaches the tree.
+			if len(sc.tags) == 0 {
+				continue
+			}
+			b := sc.tok.Text()
+			if sc.tok.TextDirty() {
+				sc.text = sc.tok.AppendText(sc.text[:0])
+				b = sc.text
+			}
+			if p.scanWords(b, sc) {
+				return true
+			}
+		}
+	}
+}
+
+// scanWords runs the xmldom.Words tokenization — maximal runs of
+// lower-cased letters and digits, each rune lowered before the class
+// test — over one character-data span, checking every word against the
+// three tables as soon as it closes. The word is reset at span
+// boundaries because adjacent CDATA/text tokens become separate text
+// nodes in the tree, whose words never merge.
+func (p *Prefilter) scanWords(b []byte, sc *prefilterScratch) bool {
+	word := sc.word[:0]
+	defer func() { sc.word = word[:0] }()
+	for i := 0; i < len(b); {
+		var lr rune = -1
+		size := 1
+		if c := b[i]; c < utf8.RuneSelf {
+			switch {
+			case 'a' <= c && c <= 'z' || '0' <= c && c <= '9':
+				lr = rune(c)
+			case 'A' <= c && c <= 'Z':
+				lr = rune(c | 0x20)
+			}
+		} else {
+			r, s := utf8.DecodeRune(b[i:])
+			size = s
+			if l := unicode.ToLower(r); unicode.IsLetter(l) || unicode.IsDigit(l) {
+				lr = l
+			}
+		}
+		i += size
+		if lr >= 0 {
+			word = utf8.AppendRune(word, lr)
+			continue
+		}
+		if len(word) > 0 {
+			if p.wordHit(word, sc.tags) {
+				return true
+			}
+			word = word[:0]
+		}
+	}
+	return len(word) > 0 && p.wordHit(word, sc.tags)
+}
+
+// wordHit checks one word against the self-contains, contains and strict
+// tables — the same lookups detectPresence and detectSelfContains make
+// on the built tree: any enclosing tag for `contains`, the innermost
+// element for `strict`. Map lookups keyed by string(b) do not allocate.
+func (p *Prefilter) wordHit(w []byte, tags [][]byte) bool {
+	x := p.x
+	if _, ok := x.selfContains[string(w)]; ok {
+		return true
+	}
+	if tt, ok := x.contains[string(w)]; ok {
+		for _, tag := range tags {
+			if _, ok := tt[string(tag)]; ok {
+				return true
+			}
+		}
+	}
+	if tt, ok := x.strict[string(w)]; ok {
+		if _, ok := tt[string(tags[len(tags)-1])]; ok {
+			return true
+		}
+	}
+	return false
+}

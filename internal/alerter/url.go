@@ -211,6 +211,40 @@ func (a *URLAlerter) Detect(d *Doc, emit func(core.Event)) {
 	}
 }
 
+// CouldAlert reports whether a page with the given pre-fetch metadata
+// could raise any URL-level event, for the ingest gate: true means the
+// page must be committed. It is conservative — numeric DTD/DOC ids and
+// fetch dates are only known after commit, and the weak self-change
+// events fire on the commit status itself, so having any of those
+// registered keeps every page on the parse path.
+func (a *URLAlerter) CouldAlert(url, filename, dtd, domain string) bool {
+	hit := false
+	collect := func(core.Event) { hit = true }
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	// Passive in-module index; see Register.
+	//xyvet:ignore lockcheck
+	a.prefixes.Lookup(url, collect)
+	if hit || len(a.urlEq[url]) > 0 || len(a.filenames[filename]) > 0 {
+		return true
+	}
+	if dtd != "" && len(a.dtds[dtd]) > 0 {
+		return true
+	}
+	if domain != "" && len(a.domains[domain]) > 0 {
+		return true
+	}
+	if len(a.dtdIDs) > 0 || len(a.docIDs) > 0 || len(a.dates) > 0 {
+		return true
+	}
+	for _, codes := range a.changes {
+		if len(codes) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func cmpTime(v time.Time, cmp sublang.Comparator, ref time.Time) bool {
 	switch cmp {
 	case sublang.CmpEq:

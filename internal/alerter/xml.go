@@ -174,79 +174,107 @@ func (a *XMLAlerter) Unregister(code core.Event, cond sublang.Condition) {
 	}
 }
 
+// HasChangeConds reports whether any element change condition
+// (new/updated/deleted) is registered. While one is, the ingest gate must
+// commit every document — change semantics need version history, so no
+// page may be skipped, matching words or not.
+func (a *XMLAlerter) HasChangeConds() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.changes) > 0
+}
+
 // Detect appends the element-level atomic events raised by the document.
 func (a *XMLAlerter) Detect(d *Doc, emit func(core.Event)) {
+	sc := detectPool.Get().(*detectScratch)
+	a.detectWith(d, emit, sc)
+	detectPool.Put(sc)
+}
+
+// detectWith is Detect with caller-supplied scratch; the pipeline passes
+// its own so one pooled scratch serves the whole chain.
+func (a *XMLAlerter) detectWith(d *Doc, emit func(core.Event), sc *detectScratch) {
 	if d.Doc == nil || d.Doc.Root == nil {
 		return
 	}
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	a.detectPresence(d.Doc.Root, emit)
-	a.detectSelfContains(d.Doc.Root, emit)
+	a.detectPresence(d.Doc.Root, emit, sc)
+	a.detectSelfContains(d.Doc.Root, emit, sc)
 	a.detectChanges(d, emit)
+}
+
+// presenceFrame is one open element of detectPresence's explicit walk:
+// the node, the next child to visit, and the offset of the element's
+// first subtree word in the shared word stack.
+type presenceFrame struct {
+	n     *xmldom.Node
+	child int
+	base  int
 }
 
 // detectPresence runs the postorder algorithm of Section 6.3. Every node n
 // contributes the pair (level, content); walking in postorder, the words
 // of the subtree rooted at n are exactly the words collected since n's
 // subtree began. Only interesting words — entries of a WordTable — are
-// retained on the stack, as the paper notes, so memory stays proportional
-// to the matches rather than the document.
-func (a *XMLAlerter) detectPresence(root *xmldom.Node, emit func(core.Event)) {
+// retained, as the paper notes, so memory stays proportional to the
+// matches rather than the document. All subtrees share one word stack:
+// an element's words are words[base:], and since the offsets nest, a
+// closing element simply leaves its words in place for the parent — no
+// per-frame copying, no recursion (deep chains must not overflow the
+// goroutine stack; PR 5 made Hash64 and TextContent iterative for the
+// same reason).
+func (a *XMLAlerter) detectPresence(root *xmldom.Node, emit func(core.Event), sc *detectScratch) {
 	if len(a.contains) == 0 && len(a.strict) == 0 {
 		return
 	}
-	type frame struct {
-		subtree []string // interesting (for `contains`) words in the subtree so far
+	if root.Type != xmldom.ElementNode {
+		return
 	}
-	var rec func(n *xmldom.Node) frame
-	rec = func(n *xmldom.Node) frame {
-		if n.Type == xmldom.TextNode {
-			var f frame
-			for _, w := range xmldom.Words(n.Text) {
-				if _, ok := a.contains[w]; ok {
-					f.subtree = append(f.subtree, w)
-				}
-				// Strict words are checked directly by the parent element;
-				// they also count as subtree words for `contains` only if
-				// some contains-table entry wants them, handled above.
-			}
-			return f
-		}
-		var f frame
-		// Direct data children first: they feed both `strict contains` on
-		// this element and the subtree word list.
-		for _, c := range n.Children {
-			cf := rec(c)
-			f.subtree = append(f.subtree, cf.subtree...)
+	words := sc.words[:0]
+	frames := append(sc.frames[:0], presenceFrame{n: root})
+	for len(frames) > 0 {
+		f := &frames[len(frames)-1]
+		if f.child < len(f.n.Children) {
+			c := f.n.Children[f.child]
+			f.child++
 			if c.Type == xmldom.TextNode {
+				// Direct data children feed both `strict contains` on this
+				// element and the subtree word list.
 				for _, w := range xmldom.Words(c.Text) {
+					if _, ok := a.contains[w]; ok {
+						words = append(words, w)
+					}
 					if t, ok := a.strict[w]; ok {
-						for _, code := range t[n.Tag] {
+						for _, code := range t[f.n.Tag] {
 							emit(code)
 						}
 					}
 				}
+				continue
 			}
+			frames = append(frames, presenceFrame{n: c, base: len(words)})
+			continue
 		}
-		// All subtree words against the contains table for this tag.
-		for _, w := range f.subtree {
+		// The closing element's subtree words against the contains table.
+		for _, w := range words[f.base:] {
 			if t, ok := a.contains[w]; ok {
-				for _, code := range t[n.Tag] {
+				for _, code := range t[f.n.Tag] {
 					emit(code)
 				}
 			}
 		}
-		return f
+		frames = frames[:len(frames)-1]
 	}
-	rec(root)
+	sc.words = words[:0]
+	sc.frames = frames
 }
 
-func (a *XMLAlerter) detectSelfContains(root *xmldom.Node, emit func(core.Event)) {
+func (a *XMLAlerter) detectSelfContains(root *xmldom.Node, emit func(core.Event), sc *detectScratch) {
 	if len(a.selfContains) == 0 {
 		return
 	}
-	seen := make(map[string]bool)
+	seen := sc.seen
 	root.PostOrder(func(n *xmldom.Node) bool {
 		if n.Type != xmldom.TextNode {
 			return true
@@ -264,6 +292,7 @@ func (a *XMLAlerter) detectSelfContains(root *xmldom.Node, emit func(core.Event)
 		}
 		return true
 	})
+	clear(seen)
 }
 
 // detectChanges raises element change events. On a new document every

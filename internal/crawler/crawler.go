@@ -43,6 +43,9 @@ type Stats struct {
 	// Deferred counts due pages skipped because their site's circuit
 	// breaker was open.
 	Deferred uint64
+	// Skipped counts fetched XML pages the ingest gate rejected before
+	// parsing: not version-tracked and unable to raise any event.
+	Skipped uint64
 	// BreakerOpens / BreakerCloses count circuit-breaker transitions.
 	BreakerOpens  uint64
 	BreakerCloses uint64
@@ -99,6 +102,11 @@ type Crawler struct {
 	MinPeriod time.Duration
 	MaxPeriod time.Duration
 
+	// Gate, when set, decides from the serialized bytes whether a fetched
+	// XML page is worth parsing and committing — the streaming pre-filter
+	// seam. Returning false drops the page before any DOM work (counted
+	// in Stats.Skipped). Nil commits everything. Set before crawling.
+	Gate func(url, dtd, domain string, data []byte) bool
 	// Faults, when set, injects failures at the fetch and commit seams
 	// (chaos tests). Nil never faults. Set before crawling.
 	Faults *faults.Injector
@@ -263,14 +271,26 @@ func (c *Crawler) fetch(p *pageState, now time.Time) {
 	var res *warehouse.CommitResult
 	var err error
 	var content []byte
-	if err = c.Faults.Check(faults.PointCommit, p.url); err == nil {
-		if p.html {
+	if p.html {
+		if err = c.Faults.Check(faults.PointCommit, p.url); err == nil {
 			content = p.site.FetchHTML(p.url, version)
 			res, err = c.store.CommitHTML(p.url, content)
-		} else {
-			doc := p.site.FetchXML(p.url, version)
-			spec := p.site.Spec()
-			res, err = c.store.CommitXML(p.url, spec.DTD, spec.Domain, doc)
+		}
+	} else {
+		spec := p.site.Spec()
+		data := p.site.FetchXMLBytes(p.url, version)
+		if c.Gate != nil && !c.Gate(p.url, spec.DTD, spec.Domain, data) {
+			// The page was fetched but can neither raise an event nor
+			// extend a version chain: no parse, no commit, no sink.
+			c.mu.Lock()
+			c.stats.Fetches++
+			c.stats.Skipped++
+			c.recoverLocked(p)
+			c.mu.Unlock()
+			return
+		}
+		if err = c.Faults.Check(faults.PointCommit, p.url); err == nil {
+			res, err = c.store.CommitXMLBytes(p.url, spec.DTD, spec.Domain, data)
 		}
 	}
 	if err != nil {

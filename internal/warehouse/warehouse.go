@@ -91,6 +91,13 @@ type Entry struct {
 	// versioning scheme: old versions are reconstructed on demand.
 	Base   *xmldom.Document
 	Deltas []*xydiff.Delta
+	// rawSig is the signature of the serialized bytes the current version
+	// was committed from; CommitXMLBytes short-circuits an identical
+	// refetch before parsing. Only valid while rawOK — a commit through
+	// the DOM path clears it. Never persisted: after recovery the first
+	// refetch of each page pays one parse, then the fast path resumes.
+	rawSig [sha256.Size]byte
+	rawOK  bool
 }
 
 // CommitResult reports what a commit did.
@@ -173,6 +180,37 @@ func Signature(content []byte) [sha256.Size]byte {
 // metadata. The dtd and domain describe the document class; they may be
 // empty.
 func (s *Store) CommitXML(url, dtd, domain string, doc *xmldom.Document) (*CommitResult, error) {
+	return s.commitXML(url, dtd, domain, doc, nil)
+}
+
+// CommitXMLBytes parses serialized XML with xmldom.ParseBytes and stores
+// it like CommitXML. When the previous version of the page came through
+// this path and the bytes are identical, the unchanged result is
+// returned without parsing at all — the crawler's refetch of a page that
+// did not change costs one signature.
+func (s *Store) CommitXMLBytes(url, dtd, domain string, data []byte) (*CommitResult, error) {
+	rawSig := Signature(data)
+	now := s.clock()
+	s.mu.Lock()
+	if e, ok := s.pages[url]; ok && e.rawOK && e.rawSig == rawSig {
+		e.Meta.LastAccessed = now
+		res := &CommitResult{Status: StatusUnchanged, Meta: e.Meta, Old: e.Doc, Doc: e.Doc}
+		s.mu.Unlock()
+		return res, nil
+	}
+	s.mu.Unlock()
+	doc, err := xmldom.ParseBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: %s: %w", url, err)
+	}
+	return s.commitXML(url, dtd, domain, doc, &rawSig)
+}
+
+// commitXML is the shared commit body. rawSig, when non-nil, is the
+// signature of the serialized bytes doc was parsed from; it is recorded
+// on the entry inside the same critical section as the commit, so the
+// fast path can never pair a stale byte signature with a newer document.
+func (s *Store) commitXML(url, dtd, domain string, doc *xmldom.Document, rawSig *[sha256.Size]byte) (*CommitResult, error) {
 	if doc == nil || doc.Root == nil {
 		return nil, errors.New("warehouse: empty document")
 	}
@@ -182,6 +220,13 @@ func (s *Store) CommitXML(url, dtd, domain string, doc *xmldom.Document) (*Commi
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.pages[url]
+	if ok {
+		if rawSig != nil {
+			e.rawSig, e.rawOK = *rawSig, true
+		} else {
+			e.rawOK = false
+		}
+	}
 	if !ok {
 		meta := Metadata{
 			URL:          url,
@@ -198,6 +243,9 @@ func (s *Store) CommitXML(url, dtd, domain string, doc *xmldom.Document) (*Commi
 		}
 		s.nextDoc++
 		e = &Entry{Meta: meta, Doc: doc, Base: doc.Clone()}
+		if rawSig != nil {
+			e.rawSig, e.rawOK = *rawSig, true
+		}
 		s.pages[url] = e
 		s.indexDomainLocked(domain, url)
 		// Prime the structural hash vector under the commit lock: the next
@@ -288,6 +336,16 @@ func (s *Store) Delete(url string) (*CommitResult, error) {
 	delete(s.pages, url)
 	s.unindexDomainLocked(e.Meta.Domain, url)
 	return &CommitResult{Status: StatusDeleted, Meta: e.Meta, Old: e.Doc, Doc: e.Doc}, nil
+}
+
+// Tracked reports whether the URL has a stored entry — whether the page
+// is version-tracked. The crawler's ingest gate uses it: a tracked page
+// is always parsed and committed, so its version chain stays complete.
+func (s *Store) Tracked(url string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.pages[url]
+	return ok
 }
 
 // Get returns the entry for a URL.

@@ -3,6 +3,7 @@ package webgen
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -71,6 +72,46 @@ func TestSiteFetchReproducible(t *testing.T) {
 	for _, url := range s1.HTMLURLs() {
 		if string(s1.FetchHTML(url, 2)) != string(s2.FetchHTML(url, 2)) {
 			t.Fatalf("FetchHTML(%s) not reproducible", url)
+		}
+	}
+}
+
+// TestFetchXMLBytesMatchesDOM pins the byte renderer to the canonical
+// serialisation: commits through the byte path and the DOM path must
+// produce the same signature for the same (url, version).
+func TestFetchXMLBytesMatchesDOM(t *testing.T) {
+	site := NewSite(SiteSpec{BaseURL: "http://shop0.example/", Seed: 42, Pages: 3})
+	for _, url := range site.XMLURLs() {
+		for v := 1; v <= 6; v++ {
+			raw := string(site.FetchXMLBytes(url, v))
+			if dom := site.FetchXML(url, v).XML(); dom != raw {
+				t.Fatalf("%s v%d: bytes %q != DOM serialisation %q", url, v, raw, dom)
+			}
+		}
+	}
+}
+
+// TestRareWordRate checks the RareWord knob: the word appears on roughly
+// one page in RareEvery and nowhere else.
+func TestRareWordRate(t *testing.T) {
+	const pages = 200
+	site := NewSite(SiteSpec{
+		BaseURL: "http://rare.example/", Seed: 7, Pages: pages,
+		RareWord: "zyzzyva", RareEvery: 20,
+	})
+	hits := 0
+	for _, url := range site.XMLURLs() {
+		if strings.Contains(string(site.FetchXMLBytes(url, 1)), "zyzzyva") {
+			hits++
+		}
+	}
+	if hits == 0 || hits > pages/5 {
+		t.Fatalf("rare word on %d/%d pages, want about %d", hits, pages, pages/20)
+	}
+	plain := NewSite(SiteSpec{BaseURL: "http://rare.example/", Seed: 7, Pages: 5})
+	for _, url := range plain.XMLURLs() {
+		if strings.Contains(string(plain.FetchXMLBytes(url, 1)), "zyzzyva") {
+			t.Fatalf("rare word leaked into a site without the knob")
 		}
 	}
 }

@@ -3,6 +3,7 @@ package webgen
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"xymon/internal/xmldom"
@@ -46,6 +47,12 @@ type SiteSpec struct {
 	// i+2 on), so a link-following crawler discovers new pages over time
 	// — the paper's "discovery of a new page" scenario (Section 1).
 	HiddenPages int
+	// RareWord, when set with RareEvery > 0, adds one extra product named
+	// RareWord to roughly one page in RareEvery (chosen deterministically
+	// per page). Benchmark corpora use a word outside the vocabulary to
+	// dial in the fraction of pages that match a subscription.
+	RareWord  string
+	RareEvery int
 }
 
 // Site is a deterministic synthetic web site: Fetch(url, version) always
@@ -144,21 +151,23 @@ func (s *Site) pageSeed(url string) int64 {
 	return s.spec.Seed ^ int64(xmldom.HashString(url))
 }
 
-// FetchXML renders catalog page url at the given version (1-based). The
-// catalog starts with Products products; each later version applies a
-// deterministic mix of price updates, insertions and deletions, so
-// successive versions produce realistic XyDelta output.
-func (s *Site) FetchXML(url string, version int) *xmldom.Document {
+type product struct {
+	id       int
+	name     string
+	category string
+	price    int
+}
+
+// catalogItems computes the product list of catalog page url at the
+// given version (1-based). The catalog starts with Products products;
+// each later version applies a deterministic mix of price updates,
+// insertions and deletions, so successive versions produce realistic
+// XyDelta output.
+func (s *Site) catalogItems(url string, version int) []product {
 	if version < 1 {
 		version = 1
 	}
 	rng := rand.New(rand.NewSource(s.pageSeed(url)))
-	type product struct {
-		id       int
-		name     string
-		category string
-		price    int
-	}
 	var items []product
 	nextID := 0
 	add := func() {
@@ -185,18 +194,52 @@ func (s *Site) FetchXML(url string, version int) *xmldom.Document {
 			items = append(items[:i], items[i+1:]...)
 		}
 	}
-	root := xmldom.Element("catalog")
-	root.WithAttr("site", s.spec.BaseURL)
-	for _, it := range items {
-		p := xmldom.Element("product",
-			xmldom.Element("name", xmldom.Text(it.name)),
-			xmldom.Element("category", xmldom.Text(it.category)),
-			xmldom.Element("price", xmldom.Text(fmt.Sprintf("%d", it.price))),
-		)
-		p.WithAttr("id", fmt.Sprintf("p%d", it.id))
-		root.AppendChild(p)
+	if s.spec.RareWord != "" && s.spec.RareEvery > 0 &&
+		uint64(s.pageSeed(url))%uint64(s.spec.RareEvery) == 0 {
+		items = append(items, product{
+			id: nextID, name: s.spec.RareWord,
+			category: words[0], price: 10,
+		})
 	}
-	return xmldom.NewDocument(root)
+	return items
+}
+
+// FetchXML renders catalog page url at the given version as a document —
+// a thin wrapper over the byte renderer, so both paths are one source of
+// truth.
+func (s *Site) FetchXML(url string, version int) *xmldom.Document {
+	d, err := xmldom.ParseBytes(s.FetchXMLBytes(url, version))
+	if err != nil {
+		// The generator only emits well-formed markup; a parse failure is
+		// a bug in the renderer, not a data condition.
+		panic(fmt.Sprintf("webgen: %s v%d: %v", url, version, err))
+	}
+	return d
+}
+
+// FetchXMLBytes renders catalog page url at the given version straight
+// to serialized bytes — the crawler's zero-copy ingest format. The
+// output is byte-identical to FetchXML(url, version).XML(), so commits
+// through either path produce the same signature.
+func (s *Site) FetchXMLBytes(url string, version int) []byte {
+	items := s.catalogItems(url, version)
+	b := make([]byte, 0, 64+len(items)*96)
+	b = append(b, `<catalog site="`...)
+	b = xmldom.AppendEscaped(b, s.spec.BaseURL)
+	b = append(b, `">`...)
+	for _, it := range items {
+		b = append(b, `<product id="p`...)
+		b = strconv.AppendInt(b, int64(it.id), 10)
+		b = append(b, `"><name>`...)
+		b = xmldom.AppendEscaped(b, it.name)
+		b = append(b, `</name><category>`...)
+		b = xmldom.AppendEscaped(b, it.category)
+		b = append(b, `</category><price>`...)
+		b = strconv.AppendInt(b, int64(it.price), 10)
+		b = append(b, `</price></product>`...)
+	}
+	b = append(b, `</catalog>`...)
+	return b
 }
 
 // FetchHTML renders HTML page url at the given version. The page links to

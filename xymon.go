@@ -105,6 +105,13 @@ type Options struct {
 	// disables each.
 	MaxCost     float64
 	InhibitRate float64
+	// AlwaysParse disables the crawler's streaming ingest gate, so every
+	// fetched XML page is parsed and committed even when it is untracked
+	// and cannot raise any event. The default (gate on) runs the
+	// pre-filter over the serialized bytes and skips the DOM for pages
+	// nobody could possibly be notified about; benchmarks use this switch
+	// to measure the gate's effect.
+	AlwaysParse bool
 }
 
 // System is the assembled subscription system.
@@ -222,6 +229,26 @@ func New(opts Options) (*System, error) {
 		}
 	}
 	s.Crawler = crawler.New(s.Store, func(d *alerter.Doc) { s.Manager.ProcessDoc(d) }, clock)
+	if !opts.AlwaysParse {
+		// The streaming ingest gate (the zero-copy alerter path): a fetched
+		// XML page is parsed only if it is version-tracked, some condition
+		// class needs every document (continuous queries, element change
+		// conditions, URL-level conditions that could match), or the
+		// pre-filter finds an interesting word in the byte stream.
+		prefilter := alerter.NewPrefilter(s.Pipeline.XML)
+		s.Crawler.Gate = func(url, dtd, domain string, data []byte) bool {
+			if s.Store.Tracked(url) || s.Trigger.Len() > 0 {
+				return true
+			}
+			if s.Pipeline.XML.HasChangeConds() {
+				return true
+			}
+			if s.Pipeline.URL.CouldAlert(url, warehouse.Filename(url), dtd, domain) {
+				return true
+			}
+			return prefilter.Match(data)
+		}
+	}
 	if opts.DataDir != "" {
 		s.dataDir = opts.DataDir
 		if _, err := os.Stat(filepath.Join(opts.DataDir, "manifest.json")); err == nil {
