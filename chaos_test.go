@@ -1,6 +1,8 @@
 package xymon
 
 import (
+	"errors"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -202,5 +204,253 @@ func TestChaosClusterDegradation(t *testing.T) {
 		if !got[id] {
 			t.Errorf("post-heal results missing %d: %v vs reference %v", id, res.IDs, want)
 		}
+	}
+}
+
+// TestChaosClusterRebalance is the capstone for the replicated,
+// rebalancing cluster: a coordinator with R=2 and three dynamic blocks
+// take a storm of subscription writes through a faulty network while
+// blocks are killed, evicted and joined, the coordinator crashes
+// mid-handoff and resumes from its WAL, and finally R blocks die at
+// once. The invariants: no subscription acked to the caller is ever
+// lost; one block failure yields complete results with Degraded=false;
+// R failures yield honestly-flagged bounded degradation (a correct
+// subset, the dead blocks named) — never silently wrong results.
+func TestChaosClusterRebalance(t *testing.T) {
+	in := faults.New(2001) // client-side network chaos
+	walDir := t.TempDir()
+	coordOpts := []cluster.ClientOption{
+		cluster.WithTimeouts(time.Second, time.Second),
+		cluster.WithRetries(2),
+	}
+	coord, err := cluster.NewCoord(walDir, 2, coordOpts...)
+	if err != nil {
+		t.Fatalf("NewCoord: %v", err)
+	}
+	if err := coord.ServeCoord("127.0.0.1:0"); err != nil {
+		t.Fatalf("ServeCoord: %v", err)
+	}
+
+	newBlock := func() *cluster.Server {
+		srv, err := cluster.ServeDynamic("127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatalf("ServeDynamic: %v", err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return srv
+	}
+	var blocks []*cluster.Server
+	for i := 0; i < 3; i++ {
+		srv := newBlock()
+		if err := coord.Join(srv.Addr()); err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		blocks = append(blocks, srv)
+	}
+
+	clientOpts := []cluster.ClientOption{
+		cluster.WithDialer(faults.Dialer(in, faults.PointConn, time.Second)),
+		cluster.WithTimeouts(time.Second, 300*time.Millisecond),
+		cluster.WithRetries(2),
+		cluster.WithDownCooldown(10*time.Millisecond, 50*time.Millisecond),
+	}
+	rc, err := cluster.DialRing(coord.Addr(), clientOpts...)
+	if err != nil {
+		t.Fatalf("DialRing: %v", err)
+	}
+	defer rc.Close()
+
+	reference := core.NewMatcher()
+	subEvents := map[core.ComplexID][]core.Event{}
+	rng := rand.New(rand.NewSource(2001))
+	nextID := core.ComplexID(0)
+
+	storm := func() {
+		in.Enable(faults.Rule{Point: faults.PointConn, Mode: faults.ModeError, Prob: 0.04})
+		in.Enable(faults.Rule{Point: faults.PointConn, Mode: faults.ModeTruncate, Prob: 0.02})
+	}
+	calm := func() { in.Clear() }
+
+	// addSubs writes n subscriptions through the ring client under the
+	// current fault regime. An Add only counts once it returns nil (every
+	// replica acked); transient failures are retried — the zero-loss
+	// invariant covers exactly the acked set.
+	addSubs := func(c *cluster.RingClient, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			id := nextID
+			nextID++
+			events := []core.Event{
+				core.Event(rng.Intn(200)),
+				core.Event(rng.Intn(200)),
+				core.Event(rng.Intn(200)),
+			}
+			var err error
+			for attempt := 0; attempt < 50; attempt++ {
+				if err = c.Add(id, events); err == nil {
+					break
+				}
+				// Wait out the down-cooldown a transient fault may have
+				// started before burning another attempt.
+				time.Sleep(10 * time.Millisecond)
+			}
+			if err != nil {
+				t.Fatalf("Add(%d) never succeeded: %v", id, err)
+			}
+			if err := reference.Add(id, events); err != nil {
+				t.Fatal(err)
+			}
+			subEvents[id] = events
+		}
+	}
+
+	// verifyAll matches every acked subscription's own definition set and
+	// requires its id in the (reference-equal) result — the direct
+	// statement of "zero lost subscriptions". Runs on a calm network so
+	// the degradation flag is meaningful; wantDegraded pins it.
+	verifyAll := func(c *cluster.RingClient, wantDegraded bool) {
+		t.Helper()
+		calm()
+		for id, events := range subEvents {
+			set := core.Canonical(events)
+			want := reference.Match(set)
+			res, err := c.MatchResult(set)
+			if err != nil {
+				t.Fatalf("MatchResult(sub %d): %v", id, err)
+			}
+			if res.Degraded != wantDegraded {
+				t.Fatalf("sub %d: Degraded = %v, want %v (down: %v)", id, res.Degraded, wantDegraded, res.Down)
+			}
+			if len(res.IDs) != len(want) {
+				t.Fatalf("sub %d: got %d ids, reference says %d", id, len(res.IDs), len(want))
+			}
+			found := false
+			for _, got := range res.IDs {
+				if got == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("subscription %d lost: absent from its own definition's match", id)
+			}
+		}
+	}
+
+	// Phase 1: write storm on a healthy cluster.
+	storm()
+	addSubs(rc, 120)
+	verifyAll(rc, false)
+
+	// Phase 2: kill one block mid-storm. R=2 means every partition still
+	// has a live replica: reads return complete results, Degraded=false,
+	// throughout. Writes are consistency-first — they need every replica's
+	// ack, so adds touching the dead block's partitions fail loudly (never
+	// a silent partial write) until the eviction below re-replicates.
+	storm()
+	addSubs(rc, 40)
+	killed := blocks[1]
+	killed.Close()
+	verifyAll(rc, false)
+	if st := rc.Stats(); st.Failovers == 0 {
+		t.Fatalf("a dead block never forced a failover: %+v", st)
+	}
+
+	// Phase 3: evict the corpse; the survivors re-replicate its
+	// partitions from the remaining copies and writes resume everywhere.
+	if err := coord.Evict(killed.Addr()); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	storm()
+	addSubs(rc, 40)
+	verifyAll(rc, false)
+
+	// Phase 4: a fresh block joins under storm and takes its share.
+	storm()
+	joined := newBlock()
+	if err := coord.Join(joined.Addr()); err != nil {
+		t.Fatalf("Join mid-storm: %v", err)
+	}
+	addSubs(rc, 40)
+	verifyAll(rc, false)
+
+	// Phase 5: the coordinator crashes mid-handoff — an injected fault at
+	// the transfer point kills a join partway, with the begin and some
+	// moved records journaled but no commit — then a reopened coordinator
+	// resumes the transfer from the WAL and completes it.
+	calm()
+	if err := coord.Close(); err != nil {
+		t.Fatalf("coordinator shutdown: %v", err)
+	}
+	inXfer := faults.New(7)
+	inXfer.Enable(faults.Rule{Point: faults.PointXfer, Mode: faults.ModeError, Prob: 1, Skip: 2})
+	coordFaulty, err := cluster.NewCoord(walDir, 2, append(coordOpts, cluster.WithInjector(inXfer))...)
+	if err != nil {
+		t.Fatalf("reopen coordinator: %v", err)
+	}
+	late := newBlock()
+	if err := coordFaulty.Join(late.Addr()); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("faulted join = %v, want the injected mid-transfer crash", err)
+	}
+	if err := coordFaulty.Close(); err != nil {
+		t.Fatalf("crashed coordinator close: %v", err)
+	}
+	coord2, err := cluster.NewCoord(walDir, 2, coordOpts...)
+	if err != nil {
+		t.Fatalf("NewCoord after crash: %v", err)
+	}
+	if err := coord2.ServeCoord("127.0.0.1:0"); err != nil {
+		t.Fatalf("ServeCoord: %v", err)
+	}
+	defer coord2.Close()
+	if m := coord2.Map(); len(m.Joining) != 0 {
+		t.Fatalf("resumed coordinator still mid-transfer: %+v", m)
+	}
+	rc2, err := cluster.DialRing(coord2.Addr(), clientOpts...)
+	if err != nil {
+		t.Fatalf("DialRing after resume: %v", err)
+	}
+	defer rc2.Close()
+	storm()
+	addSubs(rc2, 40)
+	verifyAll(rc2, false)
+
+	// Phase 6: kill R blocks at once. Partitions whose whole replica set
+	// died are gone until a rebalance; the client must flag exactly that
+	// — degraded results stay a correct subset with the dead named, and
+	// documents with every partition alive stay complete.
+	calm()
+	live := []*cluster.Server{blocks[0], blocks[2], joined, late}
+	live[0].Close()
+	live[1].Close()
+	sawDegraded := false
+	for i := 0; i < 200 && !sawDegraded; i++ {
+		set := core.Canonical([]core.Event{
+			core.Event(rng.Intn(200)), core.Event(rng.Intn(200)), core.Event(rng.Intn(200)),
+		})
+		want := map[core.ComplexID]bool{}
+		for _, id := range reference.Match(set) {
+			want[id] = true
+		}
+		res, err := rc2.MatchResult(set)
+		if err != nil {
+			continue // every partition of this doc died: an error is honest
+		}
+		for _, id := range res.IDs {
+			if !want[id] {
+				t.Fatalf("degraded-mode result invented id %d for %v", id, set)
+			}
+		}
+		if res.Degraded {
+			if len(res.Down) == 0 {
+				t.Fatal("degraded result names no down blocks")
+			}
+			sawDegraded = true
+		} else if len(res.IDs) != len(want) {
+			t.Fatalf("undegraded result incomplete: %d of %d ids for %v", len(res.IDs), len(want), set)
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("killing R blocks never surfaced a degraded result")
 	}
 }

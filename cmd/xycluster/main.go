@@ -6,7 +6,15 @@
 //	    frozen snapshot per block (block0.xyc, block1.xyc, …)
 //
 //	xycluster serve -addr :7070 block0.xyc
-//	    serve one block's snapshot over TCP
+//	    serve one block's snapshot over TCP (frozen v1 block)
+//
+//	xycluster coord -addr :7060 -wal dir/ -replicas 2
+//	    run the partition-map coordinator: admits block joins/leaves,
+//	    rebalances partitions with WAL-backed handoffs
+//
+//	xycluster serve -addr :7070 -coord host:7060
+//	    serve a dynamic (v2 partition-map) block and join the cluster;
+//	    SIGINT/SIGTERM leaves gracefully, migrating subscriptions away
 //
 //	xycluster match -blocks host1:7070,host2:7070 1,3,5
 //	    match one atomic event set against every block and print the
@@ -21,10 +29,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"xymon/internal/cluster"
@@ -43,6 +53,8 @@ func main() {
 		err = runFreeze(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "coord":
+		err = runCoord(os.Args[2:])
 	case "match":
 		err = runMatch(os.Args[2:])
 	case "bench":
@@ -61,6 +73,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xycluster freeze -c N -a N -m N -blocks N -out DIR [-seed N]
   xycluster serve -addr HOST:PORT FILE.xyc
+  xycluster serve -addr HOST:PORT -coord HOST:PORT [-advertise HOST:PORT]
+  xycluster coord -addr HOST:PORT -wal DIR [-replicas N]
   xycluster match -blocks ADDR[,ADDR...] EVENT[,EVENT...]
   xycluster bench -blocks ADDR[,ADDR...] [-p N] [-a N] [-n N] [-seed N]`)
 }
@@ -106,9 +120,17 @@ func runFreeze(args []string) error {
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	coord := fs.String("coord", "", "coordinator address (dynamic v2 block)")
+	advertise := fs.String("advertise", "", "address announced to the coordinator (default: the bound listen address)")
 	fs.Parse(args)
+	if *coord != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("a dynamic block takes no snapshot file; subscriptions arrive over the wire")
+		}
+		return serveDynamic(*addr, *coord, *advertise)
+	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("serve needs exactly one snapshot file")
+		return fmt.Errorf("serve needs exactly one snapshot file (or -coord for a dynamic block)")
 	}
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
@@ -124,7 +146,71 @@ func runServe(args []string) error {
 		return err
 	}
 	fmt.Printf("serving %d complex events on %s\n", block.Len(), srv.Addr())
-	select {} // run until killed
+	waitForSignal()
+	fmt.Println("shutting down: draining connections")
+	return srv.Close()
+}
+
+// serveDynamic runs a v2 partition-map block: bind, join the cluster,
+// serve until SIGINT/SIGTERM, then leave gracefully (the coordinator
+// migrates this block's partitions away before the leave acks) and
+// drain.
+func serveDynamic(addr, coord, advertise string) error {
+	m := core.NewMatcher()
+	opts := []cluster.ServerOption{}
+	if advertise != "" {
+		opts = append(opts, cluster.WithAdvertise(advertise))
+	}
+	srv, err := cluster.ServeDynamic(addr, m, opts...)
+	if err != nil {
+		return err
+	}
+	self := advertise
+	if self == "" {
+		self = srv.Addr()
+	}
+	if err := cluster.JoinCluster(coord, self); err != nil {
+		_ = srv.Close()
+		return fmt.Errorf("join %s: %w", coord, err)
+	}
+	fmt.Printf("block %s joined cluster at %s\n", self, coord)
+	waitForSignal()
+	fmt.Println("shutting down: leaving cluster")
+	if err := cluster.LeaveCluster(coord, self); err != nil {
+		fmt.Fprintf(os.Stderr, "xycluster: leave: %v (shutting down anyway)\n", err)
+	}
+	return srv.Close()
+}
+
+func runCoord(args []string) error {
+	fs := flag.NewFlagSet("coord", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7060", "listen address")
+	walDir := fs.String("wal", "", "transfer journal directory")
+	replicas := fs.Int("replicas", 2, "replication factor R")
+	fs.Parse(args)
+	if *walDir == "" {
+		return fmt.Errorf("coord needs -wal (the transfer journal directory)")
+	}
+	c, err := cluster.NewCoord(*walDir, *replicas)
+	if err != nil {
+		return err
+	}
+	if err := c.ServeCoord(*addr); err != nil {
+		_ = c.Close()
+		return err
+	}
+	fmt.Printf("coordinator on %s (R=%d, journal %s)\n", c.Addr(), *replicas, *walDir)
+	waitForSignal()
+	fmt.Println("shutting down coordinator")
+	return c.Close()
+}
+
+// waitForSignal blocks until SIGINT or SIGTERM.
+func waitForSignal() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	signal.Stop(sig)
 }
 
 func parseBlocks(s string) []string {

@@ -97,6 +97,28 @@ func WithClientClock(clock func() time.Time) ClientOption {
 	return func(c *clientConfig) { c.clock = clock }
 }
 
+// newClientConfig applies opts over the defaults and resolves the dialer.
+func newClientConfig(opts []ClientOption) clientConfig {
+	cfg := clientConfig{
+		dialTimeout: 2 * time.Second,
+		ioTimeout:   5 * time.Second,
+		retries:     2,
+		downBase:    time.Second,
+		downMax:     30 * time.Second,
+		clock:       time.Now,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.dialer == nil {
+		// The default dialer goes through the fault seam even when no
+		// injector is installed (nil makes the wrapper transparent): the
+		// chaos path and the production path are the same code.
+		cfg.dialer = faults.Dialer(cfg.faults, faults.PointConn, cfg.dialTimeout)
+	}
+	return cfg
+}
+
 // ClientStats counts the client's robustness activity.
 type ClientStats struct {
 	// Retries counts reconnect-and-resend attempts after a transport
@@ -110,16 +132,44 @@ type ClientStats struct {
 	// BlockFailures counts block give-ups (retry budget exhausted or
 	// dial failure), each starting a down-cooldown window.
 	BlockFailures uint64
+	// Failovers counts partitions re-routed to a replica after their
+	// preferred block failed mid-match (ring client only).
+	Failovers uint64
+	// MapRefreshes counts partition-map refetches after a stale-map
+	// rejection (ring client only).
+	MapRefreshes uint64
+}
+
+// netStats holds the atomic robustness counters shared by the static
+// and ring clients.
+type netStats struct {
+	retries       atomic.Uint64
+	reconnects    atomic.Uint64
+	degraded      atomic.Uint64
+	blockFailures atomic.Uint64
+	failovers     atomic.Uint64
+	mapRefreshes  atomic.Uint64
+}
+
+func (st *netStats) snapshot() ClientStats {
+	return ClientStats{
+		Retries:       st.retries.Load(),
+		Reconnects:    st.reconnects.Load(),
+		Degraded:      st.degraded.Load(),
+		BlockFailures: st.blockFailures.Load(),
+		Failovers:     st.failovers.Load(),
+		MapRefreshes:  st.mapRefreshes.Load(),
+	}
 }
 
 // Result is the outcome of one fan-out match.
 type Result struct {
 	IDs []core.ComplexID
-	// Degraded is set when at least one block contributed no answer: the
-	// IDs are the matches of the blocks that responded. The document is
-	// not lost — the paper's Monitoring Query Processor would rather
-	// under-notify the partitions of a dead node than stall the whole
-	// stream (Section 4.2's distribution exists to keep throughput up).
+	// Degraded is set when at least one partition (v2) or block (v1)
+	// contributed no answer: the IDs are the matches of the partitions
+	// that responded. With the ring client and R ≥ 2 a single block
+	// failure never sets this — every partition fails over to a replica
+	// first; Degraded marks the last resort, not the common case.
 	Degraded bool
 	// Down lists the addresses of the blocks that did not answer.
 	Down []string
@@ -127,16 +177,13 @@ type Result struct {
 
 // Client holds connections to every block server and matches against all
 // of them, surviving block failures with bounded retries, reconnection
-// backoff and degraded partial results.
+// backoff and degraded partial results. It speaks the v1 static-partition
+// protocol; DialRing speaks the v2 partition-map protocol.
 type Client struct {
 	mu    sync.Mutex
 	conns []*blockConn
 	cfg   clientConfig
-
-	retries       atomic.Uint64
-	reconnects    atomic.Uint64
-	degraded      atomic.Uint64
-	blockFailures atomic.Uint64
+	st    netStats
 }
 
 type blockConn struct {
@@ -160,23 +207,7 @@ func Dial(addrs ...string) (*Client, error) {
 // reachable at dial time — a cluster that starts degraded is a
 // configuration error; degradation is for blocks that die later.
 func DialWith(opts []ClientOption, addrs ...string) (*Client, error) {
-	cfg := clientConfig{
-		dialTimeout: 2 * time.Second,
-		ioTimeout:   5 * time.Second,
-		retries:     2,
-		downBase:    time.Second,
-		downMax:     30 * time.Second,
-		clock:       time.Now,
-	}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if cfg.dialer == nil {
-		// The default dialer goes through the fault seam even when no
-		// injector is installed (nil makes the wrapper transparent): the
-		// chaos path and the production path are the same code.
-		cfg.dialer = faults.Dialer(cfg.faults, faults.PointConn, cfg.dialTimeout)
-	}
+	cfg := newClientConfig(opts)
 	c := &Client{cfg: cfg}
 	for _, addr := range addrs {
 		conn, err := cfg.dialer(addr)
@@ -237,7 +268,7 @@ func (c *Client) MatchResult(s core.EventSet) (Result, error) {
 		wg.Add(1)
 		go func(i int, bc *blockConn) {
 			defer wg.Done()
-			results[i], errs[i] = bc.match(s, c)
+			results[i], errs[i] = bc.match(s, &c.cfg, &c.st)
 		}(i, bc)
 	}
 	wg.Wait()
@@ -258,7 +289,7 @@ func (c *Client) MatchResult(s core.EventSet) (Result, error) {
 	}
 	if len(res.Down) > 0 {
 		res.Degraded = true
-		c.degraded.Add(1)
+		c.st.degraded.Add(1)
 	}
 	return res, nil
 }
@@ -270,6 +301,10 @@ func (c *Client) Probe() int {
 	c.mu.Lock()
 	conns := append([]*blockConn(nil), c.conns...)
 	c.mu.Unlock()
+	return probeConns(conns, &c.cfg, &c.st)
+}
+
+func probeConns(conns []*blockConn, cfg *clientConfig, st *netStats) int {
 	up := 0
 	for _, bc := range conns {
 		bc.mu.Lock()
@@ -278,11 +313,11 @@ func (c *Client) Probe() int {
 			// wrapper); it never calls back into the client, and holding
 			// bc.mu serialises the probe with in-flight matches.
 			//xyvet:ignore lockcheck
-			if conn, err := c.cfg.dialer(bc.addr); err == nil {
+			if conn, err := cfg.dialer(bc.addr); err == nil {
 				bc.attachLocked(conn)
 				bc.downFails = 0
 				bc.downUntil = time.Time{}
-				c.reconnects.Add(1)
+				st.reconnects.Add(1)
 			}
 		}
 		if bc.conn != nil {
@@ -306,6 +341,10 @@ func (c *Client) Health() []BlockHealth {
 	c.mu.Lock()
 	conns := append([]*blockConn(nil), c.conns...)
 	c.mu.Unlock()
+	return healthOf(conns)
+}
+
+func healthOf(conns []*blockConn) []BlockHealth {
 	out := make([]BlockHealth, 0, len(conns))
 	for _, bc := range conns {
 		bc.mu.Lock()
@@ -319,14 +358,7 @@ func (c *Client) Health() []BlockHealth {
 }
 
 // Stats snapshots the robustness counters.
-func (c *Client) Stats() ClientStats {
-	return ClientStats{
-		Retries:       c.retries.Load(),
-		Reconnects:    c.reconnects.Load(),
-		Degraded:      c.degraded.Load(),
-		BlockFailures: c.blockFailures.Load(),
-	}
-}
+func (c *Client) Stats() ClientStats { return c.st.snapshot() }
 
 // attachLocked adopts a fresh connection (bc.mu held, or bc not shared yet).
 func (bc *blockConn) attachLocked(conn net.Conn) {
@@ -346,64 +378,59 @@ func (bc *blockConn) teardownLocked() {
 
 // markDownLocked starts (or extends) the down-cooldown window after a
 // give-up: base·2ⁿ⁻¹ capped at max.
-func (bc *blockConn) markDownLocked(c *Client) {
+func (bc *blockConn) markDownLocked(cfg *clientConfig, st *netStats) {
 	bc.downFails++
-	d := c.cfg.downBase
-	for i := 1; i < bc.downFails && d < c.cfg.downMax; i++ {
+	d := cfg.downBase
+	for i := 1; i < bc.downFails && d < cfg.downMax; i++ {
 		d *= 2
 	}
-	if d > c.cfg.downMax {
-		d = c.cfg.downMax
+	if d > cfg.downMax {
+		d = cfg.downMax
 	}
 	// The clock is time.Now or a test stub reading a local variable; it
 	// never blocks or re-enters.
 	//xyvet:ignore lockcheck
-	bc.downUntil = c.cfg.clock().Add(d)
-	c.blockFailures.Add(1)
+	bc.downUntil = cfg.clock().Add(d)
+	st.blockFailures.Add(1)
 }
 
-// match runs one request against one block with the full robustness
-// envelope: skip-while-down, reconnect, deadline-bounded exchange, and a
-// bounded number of retries before the block is marked down.
-func (bc *blockConn) match(s core.EventSet, c *Client) ([]core.ComplexID, error) {
+// call runs one request/response exchange against the block with the
+// full robustness envelope: skip-while-down, reconnect, deadline-bounded
+// I/O, and a bounded number of reconnect-and-resend retries before the
+// block is marked down. send writes the request; recv reads the whole
+// response (capturing results through its closure). A *RemoteError from
+// recv is surfaced without retry — the transport worked.
+func (bc *blockConn) call(cfg *clientConfig, st *netStats, send func(w *bufio.Writer) error, recv func(r *bufio.Reader) error) error {
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
-	events := make([]uint32, len(s))
-	for i, e := range s {
-		events[i] = uint32(e)
-	}
 	var lastErr error
-	for attempt := 0; attempt <= c.cfg.retries; attempt++ {
+	for attempt := 0; attempt <= cfg.retries; attempt++ {
 		if attempt > 0 {
-			c.retries.Add(1)
+			st.retries.Add(1)
 		}
 		if bc.conn == nil {
 			// Clock and dialer are config-owned leaves (see Probe); the
 			// dial must hold bc.mu so concurrent matches on the same block
 			// do not race to reconnect.
 			//xyvet:ignore lockcheck
-			if c.cfg.clock().Before(bc.downUntil) {
-				return nil, fmt.Errorf("%w: %s until %s", ErrBlockDown, bc.addr, bc.downUntil.Format(time.RFC3339))
+			if cfg.clock().Before(bc.downUntil) {
+				return fmt.Errorf("%w: %s until %s", ErrBlockDown, bc.addr, bc.downUntil.Format(time.RFC3339))
 			}
 			//xyvet:ignore lockcheck
-			conn, err := c.cfg.dialer(bc.addr)
+			conn, err := cfg.dialer(bc.addr)
 			if err != nil {
 				lastErr = err
-				bc.markDownLocked(c)
-				return nil, err
+				bc.markDownLocked(cfg, st)
+				return err
 			}
 			bc.attachLocked(conn)
-			c.reconnects.Add(1)
+			st.reconnects.Add(1)
 		}
-		ids, err := bc.exchangeLocked(events, c.cfg.ioTimeout)
+		err := bc.exchangeLocked(cfg.ioTimeout, send, recv)
 		if err == nil {
 			bc.downFails = 0
 			bc.downUntil = time.Time{}
-			out := make([]core.ComplexID, len(ids))
-			for i, id := range ids {
-				out[i] = core.ComplexID(id)
-			}
-			return out, nil
+			return nil
 		}
 		lastErr = err
 		bc.teardownLocked()
@@ -411,27 +438,53 @@ func (bc *blockConn) match(s core.EventSet, c *Client) ([]core.ComplexID, error)
 		if errors.As(err, &remote) {
 			// The block is alive and answered; retrying the same request
 			// buys nothing and the block is not "down".
-			return nil, err
+			return err
 		}
 	}
-	bc.markDownLocked(c)
-	return nil, lastErr
+	bc.markDownLocked(cfg, st)
+	return lastErr
 }
 
 // exchangeLocked performs one deadline-bounded request/response. Every
 // Read and Write on the conn happens inside the deadline set here — the
 // connguard analyzer's contract.
-func (bc *blockConn) exchangeLocked(events []uint32, ioTimeout time.Duration) ([]uint32, error) {
+func (bc *blockConn) exchangeLocked(ioTimeout time.Duration, send func(w *bufio.Writer) error, recv func(r *bufio.Reader) error) error {
 	if ioTimeout > 0 {
 		if err := bc.conn.SetDeadline(time.Now().Add(ioTimeout)); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	if err := writeFrame(bc.w, 'M', events); err != nil {
-		return nil, err
+	// send and recv are this package's own frame codecs (see call's
+	// contract): they touch only the deadline-bounded bufio pair, never
+	// the client's locks.
+	//xyvet:ignore lockcheck
+	if err := send(bc.w); err != nil {
+		return err
 	}
 	if err := bc.w.Flush(); err != nil {
+		return err
+	}
+	//xyvet:ignore lockcheck
+	return recv(bc.r)
+}
+
+// match runs one v1 match request against one block.
+func (bc *blockConn) match(s core.EventSet, cfg *clientConfig, st *netStats) ([]core.ComplexID, error) {
+	events := eventsToU32(s)
+	var ids []uint32
+	err := bc.call(cfg, st,
+		func(w *bufio.Writer) error { return writeFrame(w, 'M', events) },
+		func(r *bufio.Reader) error {
+			var err error
+			ids, err = readSetRaw(r, 'R')
+			return err
+		})
+	if err != nil {
 		return nil, err
 	}
-	return readSetRaw(bc.r, 'R')
+	out := make([]core.ComplexID, len(ids))
+	for i, id := range ids {
+		out[i] = core.ComplexID(id)
+	}
+	return out, nil
 }

@@ -1,16 +1,27 @@
 // Package cluster distributes the Monitoring Query Processor over the
 // network, realising the two distributions of Section 4.2 across real
-// processes: a Server exposes one subscription-partition block (a frozen
-// core.Compact snapshot) over TCP, and a Client fans each document's
-// atomic event set out to every block and merges the matches. Xyleme uses
-// Corba between cluster nodes; the wire protocol here is a minimal
-// length-prefixed binary exchange over the standard library's net package.
+// processes. Two generations of block server coexist:
 //
-// Wire protocol (little-endian):
+//   - Serve exposes one frozen core.Compact snapshot over the v1
+//     protocol ('M' match frames) — the static partition of the original
+//     distribution, still used by pubsub and the benchmarks.
+//   - ServeDynamic exposes a live core.Matcher over the v2 partition-map
+//     protocol: the block accepts subscription Add/Remove while serving
+//     matches, hosts the partitions a versioned Map assigns to it, and
+//     participates in coordinator-driven rebalancing (see ring.go and
+//     coord.go). v1 clients are rejected loudly.
+//
+// Xyleme uses Corba between cluster nodes; the wire protocol here is a
+// minimal length-prefixed binary exchange over the standard library's
+// net package.
+//
+// v1 wire protocol (little-endian):
 //
 //	request:  'M' | n u32 | events (u32)*
 //	response: 'R' | n u32 | complex ids (u32)*
 //	          'E' | n u32 | error text (n bytes)
+//
+// The v2 frames are documented in wire.go.
 package cluster
 
 import (
@@ -21,8 +32,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"xymon/internal/core"
+	"xymon/internal/faults"
 )
 
 // maxSetLen bounds accepted event-set and result sizes (a million events
@@ -32,26 +45,117 @@ const maxSetLen = 1 << 20
 // ErrProtocol reports a malformed exchange.
 var ErrProtocol = errors.New("cluster: protocol error")
 
+// DefaultReadIdle is the default per-request read deadline of a block
+// server: roughly twice the client's default I/O timeout, so a healthy
+// client's think-time between requests never trips it, while a silent
+// client stops pinning a handler goroutine within seconds instead of
+// until Close.
+const DefaultReadIdle = 10 * time.Second
+
+// serverConfig is the tunable envelope of a Server.
+type serverConfig struct {
+	readIdle  time.Duration
+	faults    *faults.Injector
+	advertise string
+}
+
+// ServerOption configures Serve and ServeDynamic.
+type ServerOption func(*serverConfig)
+
+// WithReadIdle bounds how long a handler waits for the next request
+// before closing the connection (default DefaultReadIdle). Clients
+// reconnect transparently; a connect-and-stall peer cannot pin a handler
+// goroutine. Zero keeps the default; a negative value disables the
+// deadline (the pre-deadline behaviour, for tests that need a hang).
+func WithReadIdle(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.readIdle = d }
+}
+
+// WithServerInjector arms the server-side fault seams: connection
+// admission consults faults.PointAccept, and each request read and
+// response write consult faults.PointServeRead / faults.PointServeWrite,
+// all keyed by the remote address. A nil injector keeps the seams
+// transparent — the production and chaos configurations differ only by
+// the injector.
+func WithServerInjector(in *faults.Injector) ServerOption {
+	return func(c *serverConfig) { c.faults = in }
+}
+
+// WithAdvertise sets the address this block believes the partition map
+// knows it by (default: the listener's address). The block refuses to
+// read-serve partitions the installed map does not assign to that
+// address — the guard that turns a stale client's misrouted match into a
+// loud stale-map error instead of silently missing subscriptions.
+func WithAdvertise(addr string) ServerOption {
+	return func(c *serverConfig) { c.advertise = addr }
+}
+
 // Server serves match requests for one partition block.
 type Server struct {
-	matcher *core.Compact
+	matcher *core.Compact // v1 static block (nil in dynamic mode)
+	dyn     *core.Matcher // v2 dynamic block (nil in static mode)
+	cfg     serverConfig
 	ln      net.Listener
 	wg      sync.WaitGroup
+	closing chan struct{}
 
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
+
+	// Dynamic-block state: the installed partition map and the partition
+	// of every hosted subscription (avoiding a Definition lookup per
+	// matched id on the filter path). smu nests outside the matcher's own
+	// lock.
+	smu  sync.RWMutex
+	pmap Map
+	part map[core.ComplexID]int
 }
 
-// Serve starts a server for the block on the given address ("127.0.0.1:0"
-// picks a free port). It returns immediately; use Addr for the bound
-// address and Close to stop.
-func Serve(addr string, block *core.Compact) (*Server, error) {
+// Serve starts a static v1 server for the frozen block on the given
+// address ("127.0.0.1:0" picks a free port). It returns immediately; use
+// Addr for the bound address and Close to stop.
+func Serve(addr string, block *core.Compact, opts ...ServerOption) (*Server, error) {
+	return serve(addr, block, nil, opts)
+}
+
+// ServeDynamic starts a v2 partition-map server around a live matcher.
+// The matcher may start empty (a fresh block joining a cluster receives
+// its partitions from the coordinator) or pre-loaded. The caller must
+// not touch m afterwards — the server owns it.
+func ServeDynamic(addr string, m *core.Matcher, opts ...ServerOption) (*Server, error) {
+	if m == nil {
+		m = core.NewMatcher()
+	}
+	return serve(addr, nil, m, opts)
+}
+
+func serve(addr string, block *core.Compact, dyn *core.Matcher, opts []ServerOption) (*Server, error) {
+	cfg := serverConfig{readIdle: DefaultReadIdle}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	s := &Server{matcher: block, ln: ln, conns: make(map[net.Conn]struct{})}
+	if cfg.advertise == "" {
+		cfg.advertise = ln.Addr().String()
+	}
+	s := &Server{
+		matcher: block, dyn: dyn, cfg: cfg, ln: ln,
+		closing: make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+		part:    make(map[core.ComplexID]int),
+	}
+	if dyn != nil {
+		// A pre-loaded matcher's subscriptions need their partitions on
+		// record for the match filter and dumps.
+		dyn.Range(func(id core.ComplexID, set core.EventSet) bool {
+			s.part[id] = PartitionOf(set)
+			return true
+		})
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -60,23 +164,52 @@ func Serve(addr string, block *core.Compact) (*Server, error) {
 // Addr returns the listener's address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// Map returns the installed partition map (Version 0 when none).
+func (s *Server) Map() Map {
+	s.smu.RLock()
+	defer s.smu.RUnlock()
+	return s.pmap.Clone()
+}
+
+// Len returns the number of subscriptions this block currently hosts.
+func (s *Server) Len() int {
+	if s.dyn != nil {
+		return s.dyn.Len()
+	}
+	return s.matcher.Len()
+}
+
 // Close stops the listener, severs every active connection (a handler
 // blocked on a client that never speaks again must not wedge shutdown),
 // and waits for all handlers to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	alreadyClosed := s.closed
 	s.closed = true
 	for conn := range s.conns {
 		_ = conn.Close()
 	}
 	s.mu.Unlock()
+	if !alreadyClosed {
+		close(s.closing)
+	}
 	err := s.ln.Close()
 	s.wg.Wait()
+	if alreadyClosed {
+		return nil
+	}
 	return err
 }
 
+// acceptLoop admits connections until Close. Transient accept errors
+// (EMFILE, ECONNABORTED, …) back off exponentially — 1ms doubling to a
+// 1s cap, the crawler's retry idiom — instead of hot-spinning the CPU
+// against a condition that needs time to clear; any successful accept
+// resets the backoff.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := time.Millisecond
+	const backoffMax = time.Second
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -86,6 +219,19 @@ func (s *Server) acceptLoop() {
 			if closed {
 				return
 			}
+			select {
+			case <-s.closing:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > backoffMax {
+				backoff = backoffMax
+			}
+			continue
+		}
+		backoff = time.Millisecond
+		if err := s.cfg.faults.Check(faults.PointAccept, remoteKey(conn)); err != nil {
+			conn.Close()
 			continue
 		}
 		s.mu.Lock()
@@ -104,6 +250,13 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+func remoteKey(conn net.Conn) string {
+	if addr := conn.RemoteAddr(); addr != nil {
+		return addr.String()
+	}
+	return ""
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -111,29 +264,282 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	key := remoteKey(conn)
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
-		set, err := readSet(r, 'M')
+		// The idle deadline covers the wait for the next request and the
+		// request/response exchange itself: a stalled or vanished client
+		// frees this goroutine within the deadline, never "until Close".
+		if s.cfg.readIdle > 0 {
+			if err := conn.SetDeadline(time.Now().Add(s.cfg.readIdle)); err != nil {
+				return
+			}
+		}
+		if err := s.cfg.faults.Check(faults.PointServeRead, key); err != nil {
+			return
+		}
+		var kind [1]byte
+		if _, err := io.ReadFull(r, kind[:]); err != nil {
+			return
+		}
+		keep, err := s.dispatch(kind[0], r, w, key)
 		if err != nil {
-			if !errors.Is(err, io.EOF) {
-				writeError(w, err)
+			// An injected write fault models a broken pipe: drop the
+			// connection so the client's transport retry kicks in. A
+			// protocol error, by contrast, is answered in words.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, faults.ErrInjected) {
+				_ = s.writeChecked(w, key, func() error { writeError(w, err); return nil })
 				w.Flush()
 			}
 			return
 		}
-		matched := s.matcher.Match(set)
-		ids := make([]uint32, len(matched))
-		for i, id := range matched {
-			ids[i] = uint32(id)
-		}
-		if err := writeFrame(w, 'R', ids); err != nil {
+		if !keep {
+			w.Flush()
 			return
 		}
 		if err := w.Flush(); err != nil {
 			return
 		}
 	}
+}
+
+// writeChecked consults the serve.write fault seam, then runs the write.
+func (s *Server) writeChecked(w *bufio.Writer, key string, write func() error) error {
+	if err := s.cfg.faults.Check(faults.PointServeWrite, key); err != nil {
+		return err
+	}
+	return write()
+}
+
+// dispatch reads the body of one request (kind already consumed) and
+// answers it. It returns keep=false to close the connection after the
+// response flushes, and a non-nil error to answer with an error frame
+// and close.
+func (s *Server) dispatch(kind byte, r *bufio.Reader, w *bufio.Writer, key string) (keep bool, err error) {
+	// v1 match: the static block's only request.
+	if kind == 'M' {
+		if s.dyn != nil {
+			// Drain the frame so the error response isn't interleaved
+			// with unread request bytes, then reject loudly: a v1 client
+			// fanning out to every block would silently lose this block's
+			// partitions if we answered its match with partial data.
+			if _, err := readSetRawBody(r); err != nil {
+				return false, err
+			}
+			return false, fmt.Errorf("%w: this block speaks the v2 partition-map protocol; upgrade the client (v1 'M' rejected)", ErrProtocol)
+		}
+		set, err := readSetBody(r)
+		if err != nil {
+			return false, err
+		}
+		matched := s.matcher.Match(set)
+		ids := make([]uint32, len(matched))
+		for i, id := range matched {
+			ids[i] = uint32(id)
+		}
+		return true, s.writeChecked(w, key, func() error { return writeFrame(w, 'R', ids) })
+	}
+	if s.dyn == nil {
+		return false, fmt.Errorf("%w: expected frame %q, got %q", ErrProtocol, 'M', kind)
+	}
+	payload, err := readBlobBody(r)
+	if err != nil {
+		return false, err
+	}
+	resp := func(k byte, body []byte) error {
+		return s.writeChecked(w, key, func() error { return writeBlob(w, k, body) })
+	}
+	switch kind {
+	case kindMatchV2:
+		return s.handleMatch(payload, resp)
+	case kindAdd:
+		return s.handleAdd(payload, resp)
+	case kindRemove:
+		return s.handleRemove(payload, resp)
+	case kindDump:
+		return s.handleDump(payload, resp)
+	case kindDrop:
+		return s.handleDrop(payload, resp)
+	case kindInstall:
+		return s.handleInstall(payload, resp)
+	case kindMapReq:
+		return s.handleMapReq(resp)
+	default:
+		return false, fmt.Errorf("%w: unknown frame kind %q", ErrProtocol, kind)
+	}
+}
+
+// handleMatch answers a v2 match: verify this block read-serves every
+// requested partition under the installed map, match the live matcher,
+// and filter the ids down to the requested partitions.
+func (s *Server) handleMatch(payload []byte, resp func(byte, []byte) error) (bool, error) {
+	_, parts, events, err := decodeMatchV2(payload)
+	if err != nil {
+		return false, err
+	}
+	s.smu.RLock()
+	m := s.pmap
+	stale := false
+	if m.Version != 0 {
+		for _, p := range parts {
+			if !m.Hosts(int(p), s.cfg.advertise) {
+				stale = true
+				break
+			}
+		}
+	}
+	s.smu.RUnlock()
+	if stale {
+		return true, resp(kindStale, encodeU64(m.Version))
+	}
+
+	set := core.Canonical(u32ToEvents(events))
+	matched := s.dyn.Match(set)
+	var wanted [NumPartitions]bool
+	for _, p := range parts {
+		wanted[int(p)%NumPartitions] = true
+	}
+	ids := make([]uint32, 0, len(matched))
+	s.smu.RLock()
+	for _, id := range matched {
+		if p, ok := s.part[id]; ok && wanted[p] {
+			ids = append(ids, uint32(id))
+		}
+	}
+	s.smu.RUnlock()
+	return true, resp(kindResults, appendU32s(nil, ids))
+}
+
+// checkWriteVersion bounces writes carrying an older map version than
+// this block's: a subscription mutation from a stale client could miss a
+// joining destination mid-handoff, so it is rejected until the client
+// refreshes. Writes carrying a newer version are accepted — the client's
+// target list came from the newer (correct) map, and applying the write
+// on a block whose install push is still in flight is exactly what keeps
+// the no-lost-subscription invariant; reads stay gated by the hosting
+// check, so an over-eager copy is never served from the wrong block.
+func (s *Server) checkWriteVersion(ver uint64) (stale bool, cur uint64) {
+	s.smu.RLock()
+	defer s.smu.RUnlock()
+	if s.pmap.Version != 0 && ver < s.pmap.Version {
+		return true, s.pmap.Version
+	}
+	return false, 0
+}
+
+// handleAdd registers (or replaces, idempotently) one subscription.
+func (s *Server) handleAdd(payload []byte, resp func(byte, []byte) error) (bool, error) {
+	ver, id, events, err := decodeSubOp(payload)
+	if err != nil {
+		return false, err
+	}
+	if stale, cur := s.checkWriteVersion(ver); stale {
+		return true, resp(kindStale, encodeU64(cur))
+	}
+	set := core.Canonical(u32ToEvents(events))
+	if len(set) == 0 {
+		return false, core.ErrEmptyComplexEvent
+	}
+	cid := core.ComplexID(id)
+	s.smu.Lock()
+	if _, exists := s.part[cid]; exists {
+		// Replace: transfer re-sends and client retries land here; the
+		// newest definition wins.
+		_ = s.dyn.Remove(cid)
+	}
+	err = s.dyn.Add(cid, set)
+	if err == nil {
+		s.part[cid] = PartitionOf(set)
+	}
+	s.smu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	return true, resp(kindAck, nil)
+}
+
+// handleRemove unregisters one subscription; removing an id this block
+// never saw is a no-op (double-writes and retries make that routine).
+func (s *Server) handleRemove(payload []byte, resp func(byte, []byte) error) (bool, error) {
+	ver, id, _, err := decodeSubOp(payload)
+	if err != nil {
+		return false, err
+	}
+	if stale, cur := s.checkWriteVersion(ver); stale {
+		return true, resp(kindStale, encodeU64(cur))
+	}
+	cid := core.ComplexID(id)
+	s.smu.Lock()
+	if _, exists := s.part[cid]; exists {
+		_ = s.dyn.Remove(cid)
+		delete(s.part, cid)
+	}
+	s.smu.Unlock()
+	return true, resp(kindAck, nil)
+}
+
+// partSubs snapshots every subscription of partition p.
+func (s *Server) partSubs(p int) []Sub {
+	var subs []Sub
+	s.dyn.Range(func(id core.ComplexID, set core.EventSet) bool {
+		if PartitionOf(set) == p {
+			subs = append(subs, Sub{ID: id, Events: set.Clone()})
+		}
+		return true
+	})
+	return subs
+}
+
+// handleDump streams partition p's subscriptions to the coordinator.
+func (s *Server) handleDump(payload []byte, resp func(byte, []byte) error) (bool, error) {
+	p, err := decodeU32(payload)
+	if err != nil {
+		return false, err
+	}
+	return true, resp(kindDumped, encodeSubs(s.partSubs(int(p))))
+}
+
+// handleDrop discards partition p after a handoff moved it elsewhere.
+func (s *Server) handleDrop(payload []byte, resp func(byte, []byte) error) (bool, error) {
+	p, err := decodeU32(payload)
+	if err != nil {
+		return false, err
+	}
+	for _, sub := range s.partSubs(int(p)) {
+		s.smu.Lock()
+		_ = s.dyn.Remove(sub.ID)
+		delete(s.part, sub.ID)
+		s.smu.Unlock()
+	}
+	return true, resp(kindAck, nil)
+}
+
+// handleInstall adopts a new partition map. Regressions are ignored (a
+// re-pushed older version acks without clobbering newer state, which
+// makes coordinator recovery re-pushes idempotent).
+func (s *Server) handleInstall(payload []byte, resp func(byte, []byte) error) (bool, error) {
+	m, err := DecodeMap(payload)
+	if err != nil {
+		return false, err
+	}
+	s.smu.Lock()
+	if m.Version >= s.pmap.Version {
+		s.pmap = m
+	}
+	s.smu.Unlock()
+	return true, resp(kindAck, nil)
+}
+
+// handleMapReq serves the installed map to a client.
+func (s *Server) handleMapReq(resp func(byte, []byte) error) (bool, error) {
+	s.smu.RLock()
+	m := s.pmap
+	s.smu.RUnlock()
+	if m.Version == 0 {
+		return false, fmt.Errorf("%w: no partition map installed on this block", ErrProtocol)
+	}
+	return true, resp(kindMapResp, m.Encode())
 }
 
 func writeFrame(w io.Writer, kind byte, values []uint32) error {
@@ -153,16 +559,13 @@ func writeError(w io.Writer, err error) {
 	w.Write(msg)
 }
 
-func readSet(r io.Reader, kind byte) (core.EventSet, error) {
-	raw, err := readSetRaw(r, kind)
+// readSetBody reads a v1 count-framed body whose kind byte was consumed.
+func readSetBody(r io.Reader) (core.EventSet, error) {
+	raw, err := readSetRawBody(r)
 	if err != nil {
 		return nil, err
 	}
-	events := make([]core.Event, len(raw))
-	for i, v := range raw {
-		events[i] = core.Event(v)
-	}
-	return core.Canonical(events), nil
+	return core.Canonical(u32ToEvents(raw)), nil
 }
 
 func readSetRaw(r io.Reader, kind byte) ([]uint32, error) {
@@ -187,6 +590,10 @@ func readSetRaw(r io.Reader, kind byte) ([]uint32, error) {
 	if k[0] != kind {
 		return nil, fmt.Errorf("%w: expected frame %q, got %q", ErrProtocol, kind, k[0])
 	}
+	return readSetRawBody(r)
+}
+
+func readSetRawBody(r io.Reader) ([]uint32, error) {
 	var n uint32
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return nil, fmt.Errorf("%w: truncated length", ErrProtocol)

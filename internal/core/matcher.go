@@ -219,6 +219,26 @@ func (m *Matcher) Definition(id ComplexID) EventSet {
 	return m.defs[id].Clone()
 }
 
+// Range calls fn for every registered complex event until fn returns
+// false. The set passed to fn is the retained canonical definition and
+// must not be mutated; clone it before keeping it. Iteration order is
+// unspecified. Range holds the structure's read lock for its duration,
+// so fn must not call back into the Matcher's write methods — it exists
+// for bulk export (the cluster's partition handoff dumps a block's
+// subscriptions through it).
+func (m *Matcher) Range(fn func(id ComplexID, set EventSet) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for id, set := range m.defs {
+		// fn reads the definition snapshot; the contract above forbids it
+		// from re-entering the matcher.
+		//xyvet:ignore lockcheck
+		if !fn(id, set) {
+			return
+		}
+	}
+}
+
 // Degree returns the number of registered complex events that contain e —
 // the per-event value of the paper's parameter k.
 func (m *Matcher) Degree(e Event) int {

@@ -36,6 +36,20 @@ const (
 	PointCommit Point = "warehouse.commit"
 	// PointConn fires on every Read/Write of a wrapped net.Conn.
 	PointConn Point = "cluster.conn"
+	// PointAccept fires in the cluster server when a connection is
+	// admitted, keyed by the remote address — an error fault here drops
+	// the connection before the handler starts.
+	PointAccept Point = "cluster.accept"
+	// PointServeRead / PointServeWrite fire in the cluster server's
+	// handler before each request read and each response write, keyed by
+	// the remote address — the server half of the PointConn seam, so a
+	// chaos test can poison either side of the exchange.
+	PointServeRead  Point = "cluster.serve.read"
+	PointServeWrite Point = "cluster.serve.write"
+	// PointXfer fires in the cluster coordinator around subscription
+	// state transfer, keyed by "partition→destination" — the seam for
+	// truncated or crashed handoffs.
+	PointXfer Point = "cluster.xfer"
 	// PointDelivery fires in the Delivery wrapper before a report is
 	// handed to the real sink.
 	PointDelivery Point = "delivery"
