@@ -11,6 +11,8 @@ import (
 	"xymon/internal/core"
 	"xymon/internal/faults"
 	"xymon/internal/reporter"
+	"xymon/internal/stream"
+	"xymon/internal/xmldom"
 )
 
 // TestChaosPipeline runs the full acquisition→delivery chain under a
@@ -110,6 +112,148 @@ report when immediate`); err != nil {
 	}
 	if total == 0 {
 		t.Fatal("nothing was ever delivered")
+	}
+}
+
+// downSink refuses every delivery — the pathological push target the
+// change-stream exists to route around.
+type downSink struct{ calls int }
+
+func (s *downSink) Deliver(*reporter.Report) error {
+	s.calls++
+	return errors.New("sink down")
+}
+
+// TestChaosStreamSlowConsumer is the backpressure gate for the durable
+// change-stream: the push sink is dead and a pull consumer runs an
+// order of magnitude slower than the producer, yet the reporter's
+// in-memory queues stay at their configured caps the whole time — the
+// stream on disk absorbs the lag. Truncation surfaces only when the
+// consumer genuinely falls past the retention floor, the documented
+// re-sync path recovers it, and once the storm ends it catches up by
+// replay to zero lag with every published record either consumed in
+// order or skipped across an honestly-reported truncation gap.
+func TestChaosStreamSlowConsumer(t *testing.T) {
+	c := &testClock{t: time.Date(2001, 5, 21, 0, 0, 0, 0, time.UTC)}
+	dir := t.TempDir()
+	st, err := stream.Open(dir, stream.Options{SegmentBytes: 1024, MaxBehind: 120})
+	if err != nil {
+		t.Fatalf("stream.Open: %v", err)
+	}
+	defer st.Close()
+
+	sink := &downSink{}
+	const deadCap = 8
+	rep := reporter.New(sink,
+		reporter.WithClock(c.now),
+		reporter.WithRetryPolicy(1, time.Minute, time.Minute),
+		reporter.WithDeadLetterCap(deadCap),
+		reporter.WithStream(st),
+	)
+	rep.Register("Storm", nil)
+	doc, err := xmldom.ParseString("<page>storm</page>")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := stream.OpenReader(dir, "slow", stream.ReaderOptions{MaxFetch: 4})
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	truncations := 0
+	var nextExpect uint64
+	// consume runs one bounded poll, requiring offsets contiguous with
+	// everything consumed so far; a truncation is tolerated only when the
+	// position is genuinely behind the retention floor, and re-syncs.
+	consume := func(max int) {
+		recs, err := rd.Poll(max)
+		if err != nil {
+			var trunc *stream.TruncatedError
+			if !errors.As(err, &trunc) {
+				t.Fatalf("Poll: %v", err)
+			}
+			if first := st.FirstRetained(); trunc.Requested >= first {
+				t.Fatalf("spurious truncation: requested %d with first retained %d", trunc.Requested, first)
+			}
+			first, err := rd.SeekOldest()
+			if err != nil {
+				t.Fatalf("SeekOldest: %v", err)
+			}
+			if first < nextExpect {
+				t.Fatalf("re-sync moved backwards: %d after consuming to %d", first, nextExpect)
+			}
+			nextExpect = first
+			truncations++
+			return
+		}
+		for _, rec := range recs {
+			if rec.Offset != nextExpect {
+				t.Fatalf("consumer jumped from offset %d to %d without a truncation", nextExpect, rec.Offset)
+			}
+			nextExpect++
+		}
+		if len(recs) > 0 {
+			if err := rd.Commit(); err != nil {
+				t.Fatalf("Commit: %v", err)
+			}
+		}
+	}
+
+	// The storm: 400 reports fired at a dead sink, the consumer pulling
+	// 4 records for every 10 produced, retention every 5 rounds. The
+	// reporter's bounds hold at every step, not just at the end.
+	const rounds, perRound = 40, 10
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < perRound; i++ {
+			rep.Notify(reporter.Notification{Subscription: "Storm", Label: "l", Element: doc.Root})
+		}
+		consume(4)
+		if round%5 == 4 {
+			if _, err := st.Retain(); err != nil {
+				t.Fatalf("Retain: %v", err)
+			}
+		}
+		if p := rep.RetryPending(); p != 0 {
+			t.Fatalf("round %d: retry queue grew to %d with retrying exhausted", round, p)
+		}
+		if d := len(rep.DeadLetters()); d > deadCap {
+			t.Fatalf("round %d: dead letters %d exceed cap %d", round, d, deadCap)
+		}
+		c.advance(time.Minute)
+	}
+
+	produced := uint64(rounds * perRound)
+	if got := st.Next(); got != produced {
+		t.Fatalf("stream head %d, want every one of %d fired reports published", got, produced)
+	}
+	if pub, serrs := rep.StreamStats(); pub != produced || serrs != 0 {
+		t.Fatalf("StreamStats = %d published, %d errors; want %d, 0", pub, serrs, produced)
+	}
+	if truncations == 0 {
+		t.Fatal("a 10x-slower consumer never fell past the retention floor; the scenario did not bite")
+	}
+	if st.Stats().TruncatedRecords == 0 {
+		t.Error("retention reclaimed nothing past the floor")
+	}
+
+	// Storm over: the consumer catches up by replay — larger polls, same
+	// contiguity contract — to zero lag.
+	for rd.Next() < st.Next() {
+		before := rd.Next()
+		consume(64)
+		if rd.Next() == before {
+			t.Fatalf("catch-up stalled at offset %d with head %d", before, st.Next())
+		}
+	}
+	lags, err := st.Lags()
+	if err != nil {
+		t.Fatalf("Lags: %v", err)
+	}
+	if lags["slow"] != 0 {
+		t.Errorf("consumer lag after catch-up = %d, want 0", lags["slow"])
+	}
+	if sink.calls == 0 {
+		t.Error("the dead sink was never even attempted")
 	}
 }
 

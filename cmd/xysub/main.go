@@ -5,6 +5,8 @@
 //	xysub explain file.sub     print the compiled view: monitoring queries,
 //	                           their atomic conditions (one atomic event
 //	                           each), continuous queries, report spec
+//	xysub stream ...           consume the durable notification
+//	                           change-stream (see stream.go)
 //
 // With no files, input is read from stdin.
 package main
@@ -26,6 +28,8 @@ func main() {
 	files := os.Args[2:]
 	switch cmd {
 	case "check", "explain":
+	case "stream":
+		os.Exit(runStream(files, os.Stdout, os.Stderr))
 	default:
 		usage()
 		os.Exit(2)
@@ -55,7 +59,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xysub check|explain [file ...]")
+	fmt.Fprintln(os.Stderr, "usage: xysub check|explain [file ...] | xysub stream ...")
 }
 
 func readInputs(files []string) (map[string]string, error) {

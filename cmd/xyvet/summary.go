@@ -117,6 +117,7 @@ var entryPackages = []string{
 	"internal/wal",
 	"internal/warehouse",
 	"internal/reporter",
+	"internal/stream",
 }
 
 // summarize runs the local pass over one function body.

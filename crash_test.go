@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"xymon/internal/faults"
+	"xymon/internal/stream"
 )
 
 // The kill-and-recover harness. TestCrashRecovery re-execs this test
@@ -101,12 +102,12 @@ func readLedger(path string) []string {
 type crashScenario struct {
 	name  string
 	point faults.Point
-	match string // rule key filter: WAL log name or subscription name
+	match string // rule key filter: WAL log name, consumer, or subscription
 	skip  int    // let the first skip matching operations pass
-	// tornTail additionally appends a partial binary frame to the
-	// reporter log's active segment before recovery — the residue of a
-	// write the kernel cut mid-frame.
-	tornTail bool
+	// tornTail names a WAL log ("reporter", "stream") whose active
+	// segment additionally gets a partial binary frame appended before
+	// recovery — the residue of a write the kernel cut mid-frame.
+	tornTail string
 }
 
 var crashScenarios = []crashScenario{
@@ -115,14 +116,25 @@ var crashScenarios = []crashScenario{
 	{name: "subs-second-append", point: faults.PointWALAppend, match: "subs", skip: 1},
 	{name: "reporter-first-append", point: faults.PointWALAppend, match: "reporter"},
 	{name: "reporter-mid-append", point: faults.PointWALAppend, match: "reporter", skip: 5},
-	{name: "reporter-append-done", point: faults.PointWALAppendDone, match: "reporter", skip: 3, tornTail: true},
+	{name: "reporter-append-done", point: faults.PointWALAppendDone, match: "reporter", skip: 3, tornTail: "reporter"},
 	{name: "trigger-mark-append", point: faults.PointWALAppend, match: "trigger"},
 	{name: "checkpoint-temp", point: faults.PointWALCheckpointTemp},
 	{name: "checkpoint-install", point: faults.PointWALCheckpointInstall},
 	{name: "checkpoint-compact", point: faults.PointWALCheckpointCompact},
 	{name: "checkpoint-reporter-install", point: faults.PointWALCheckpointInstall, match: "reporter"},
 	{name: "delivery", point: faults.PointDelivery, skip: 2},
-	{name: "delivery-ack", point: faults.PointDeliveryAck, skip: 1, tornTail: true},
+	{name: "delivery-ack", point: faults.PointDeliveryAck, skip: 1, tornTail: "reporter"},
+	// Change-stream crash points: the writer side dies mid-append (no
+	// phantom batch may survive), the consumer side dies between reading
+	// a batch and committing its cursor (the batch must replay), and the
+	// cursor install itself is torn (recovery resumes from the previous
+	// durable offset — behind is replay, ahead would be a skip).
+	{name: "stream-append", point: faults.PointWALAppend, match: "stream"},
+	{name: "stream-append-done", point: faults.PointWALAppendDone, match: "stream", skip: 3, tornTail: "stream"},
+	{name: "stream-publish", point: faults.PointStreamAppend, skip: 2},
+	{name: "stream-consumer-read", point: faults.PointStreamRead, match: "watcher", skip: 2},
+	{name: "cursor-commit", point: faults.PointCursorCommit, match: "watcher", skip: 1},
+	{name: "cursor-install", point: faults.PointCursorInstall, match: "watcher", skip: 1},
 }
 
 // TestCrashChild is the harness's child body; standalone it only skips.
@@ -197,6 +209,35 @@ func TestCrashChild(t *testing.T) {
 			mustAck("checkpoint")
 		}
 	}
+
+	// Consumer phase: drain the change-stream the way an external pull
+	// consumer would — bounded polls, cursor commit after each batch —
+	// with the injector's rules live at the stream/cursor fault points.
+	// consumed: lines record every offset the child observed; cursor:
+	// lines record every durable commit it saw acknowledged.
+	streamHook := func(op, key string) error { return in.Check(faults.Point(op), key) }
+	rd, err := stream.OpenReader(filepath.Join(dir, "wal", "stream"), "watcher",
+		stream.ReaderOptions{Hook: streamHook, MaxFetch: 2})
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	for {
+		recs, err := rd.Poll(2)
+		if err != nil {
+			t.Fatalf("Poll: %v", err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, rec := range recs {
+			mustAck(fmt.Sprintf("consumed:%d:%s:%s",
+				rec.Offset, rec.Subscription, strings.ReplaceAll(rec.XML, "\n", " ")))
+		}
+		if err := rd.Commit(); err != nil {
+			t.Fatalf("cursor commit: %v", err)
+		}
+		mustAck(fmt.Sprintf("cursor:%d", rd.Next()))
+	}
 	sys.Close()
 	// Reaching here means the armed crash point never fired: exit 0 and
 	// let the parent flag the dead scenario.
@@ -216,8 +257,8 @@ func TestCrashRecovery(t *testing.T) {
 		t.Run(sc.name, func(t *testing.T) {
 			dir := t.TempDir()
 			runCrashChild(t, dir, sc)
-			if sc.tornTail {
-				tearReporterTail(t, dir)
+			if sc.tornTail != "" {
+				tearTail(t, dir, sc.tornTail)
 			}
 			verifyCrashRecovery(t, dir)
 		})
@@ -247,14 +288,14 @@ func runCrashChild(t *testing.T, dir string, sc crashScenario) {
 	}
 }
 
-// tearReporterTail appends three bytes of a frame header to the reporter
-// log's active segment: the torn write of a crash the WAL must truncate
-// away on recovery.
-func tearReporterTail(t *testing.T, dir string) {
+// tearTail appends three bytes of a frame header to the named log's
+// active segment: the torn write of a crash the WAL must truncate away
+// on recovery.
+func tearTail(t *testing.T, dir, log string) {
 	t.Helper()
-	segs, err := filepath.Glob(filepath.Join(dir, "wal", "reporter", "seg-*.wal"))
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", log, "seg-*.wal"))
 	if err != nil || len(segs) == 0 {
-		t.Fatalf("no reporter segments to tear (err=%v)", err)
+		t.Fatalf("no %s segments to tear (err=%v)", log, err)
 	}
 	sort.Strings(segs)
 	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
@@ -345,5 +386,101 @@ func verifyCrashRecovery(t *testing.T, dir string) {
 	}
 	if p := sys.Reporter.RetryPending(); p != 0 {
 		t.Errorf("%d reports still stuck in the retry queue after recovery", p)
+	}
+
+	verifyStreamRecovery(t, dir, sys, acked)
+}
+
+// verifyStreamRecovery checks the change-stream's half of the
+// at-least-once contract after a crash: the consumer's recovered cursor
+// never skips past what it consumed (behind means replay, which is the
+// contract; ahead would lose records), a replay from that cursor is
+// offset-contiguous to the head with no phantom records, and every
+// notification the child saw accepted is in the stream — consumed
+// before the crash or replayable now.
+func verifyStreamRecovery(t *testing.T, dir string, sys *System, acked []string) {
+	t.Helper()
+	consumed := make(map[uint64]string)
+	var maxConsumed, lastCursor uint64
+	for _, a := range acked {
+		if rest, ok := strings.CutPrefix(a, "consumed:"); ok {
+			parts := strings.SplitN(rest, ":", 3)
+			off, err := strconv.ParseUint(parts[0], 10, 64)
+			if len(parts) != 3 || err != nil {
+				t.Fatalf("malformed consumed ledger line %q", a)
+			}
+			consumed[off] = parts[2]
+			if off >= maxConsumed {
+				maxConsumed = off
+			}
+		}
+		if rest, ok := strings.CutPrefix(a, "cursor:"); ok {
+			n, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("malformed cursor ledger line %q", a)
+			}
+			if n > lastCursor {
+				lastCursor = n
+			}
+		}
+	}
+
+	rd, err := stream.OpenReader(filepath.Join(dir, "wal", "stream"), "watcher", stream.ReaderOptions{})
+	if err != nil {
+		t.Fatalf("reopening consumer after crash: %v", err)
+	}
+	committed := rd.Committed()
+	if committed < lastCursor {
+		t.Errorf("recovered cursor %d behind the last synced commit %d", committed, lastCursor)
+	}
+	if len(consumed) > 0 && committed > maxConsumed+1 {
+		t.Errorf("recovered cursor %d skipped past the last consumed offset %d", committed, maxConsumed)
+	}
+	if len(consumed) == 0 && committed != 0 {
+		t.Errorf("cursor committed at %d but the child consumed nothing", committed)
+	}
+
+	// Replay from the recovered cursor to the head. Offsets must be
+	// contiguous — retention never runs past a live cursor in these
+	// scenarios, so any gap is a silent skip, not a truncation — and
+	// every record must be one the pipeline actually published.
+	next := committed
+	replayed := make(map[uint64]string)
+	for {
+		recs, err := rd.Poll(3)
+		if err != nil {
+			t.Fatalf("replay from recovered cursor %d: %v", committed, err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, rec := range recs {
+			if rec.Offset != next {
+				t.Fatalf("replay jumped from offset %d to %d", next, rec.Offset)
+			}
+			next = rec.Offset + 1
+			if rec.Subscription != "Watch" && rec.Subscription != "Pulse" {
+				t.Errorf("phantom stream record %d for subscription %q", rec.Offset, rec.Subscription)
+			}
+			replayed[rec.Offset] = rec.XML
+		}
+	}
+	if head := sys.Stream.Next(); next != head {
+		t.Errorf("replay stopped at offset %d, stream head is %d", next, head)
+	}
+
+	var seen strings.Builder
+	for _, xml := range consumed {
+		seen.WriteString(xml)
+		seen.WriteByte('\n')
+	}
+	for _, xml := range replayed {
+		seen.WriteString(xml)
+		seen.WriteByte('\n')
+	}
+	for _, a := range acked {
+		if url, ok := strings.CutPrefix(a, "push:"); ok && !strings.Contains(seen.String(), url) {
+			t.Errorf("accepted notification for %s missing from the change-stream", url)
+		}
 	}
 }

@@ -77,6 +77,18 @@ const (
 	// the write and the fsync — the page-cache window.
 	PointWALFileAppend Point = "wal.file.append"
 	PointWALFileSync   Point = "wal.file.sync"
+
+	// The notification change-stream's durability points (same
+	// duplicated-by-contract discipline as the wal ops, pinned by a
+	// test): stream.append before a batch is encoded and written,
+	// stream.read before any poll or recovery scan touches segment or
+	// cursor bytes, cursor.commit between consuming a batch and writing
+	// the cursor temp file, cursor.commit.install between the fsynced
+	// temp file and the rename that makes the new offset durable.
+	PointStreamAppend  Point = "stream.append"
+	PointStreamRead    Point = "stream.read"
+	PointCursorCommit  Point = "cursor.commit"
+	PointCursorInstall Point = "cursor.commit.install"
 )
 
 // Mode is the kind of fault a rule injects.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"xymon/internal/reporter"
+	"xymon/internal/stream"
 	"xymon/internal/wal"
 )
 
@@ -299,6 +300,10 @@ func TestWALPointNamesMatch(t *testing.T) {
 		PointWALCheckpointCompact: wal.OpCheckpointCompact,
 		PointWALFileAppend:        wal.OpFileAppend,
 		PointWALFileSync:          wal.OpFileSync,
+		PointStreamAppend:         stream.OpAppend,
+		PointStreamRead:           stream.OpRead,
+		PointCursorCommit:         stream.OpCursorCommit,
+		PointCursorInstall:        stream.OpCursorInstall,
 	}
 	for p, op := range pairs {
 		if string(p) != op {

@@ -23,6 +23,7 @@ import (
 //	done   — the sink accepted the report
 //	dead   — the report exhausted its retry budget (dead-lettered)
 //	lost   — delivery failed with retrying disabled; intentionally dropped
+//	redrive — an operator moved a dead letter back onto the retry queue
 //
 // Recovery replays checkpoint + tail: buffered notifications come back
 // flagged pending (the next Tick reports them — re-evaluating the exact
@@ -199,6 +200,20 @@ func (r *Reporter) Recover() error {
 			case "dead":
 				delete(outstanding, rec.ID)
 				dead = append(dead, rec)
+			case "redrive":
+				// A dead letter moved back to the retry queue; the fresh
+				// attempt budget a live Redrive grants is restored too.
+				for i, d := range dead {
+					if d.ID == rec.ID {
+						d.T = "fired"
+						d.Attempts = 0
+						d.Reason = ""
+						outstanding[rec.ID] = d
+						order = append(order, rec.ID)
+						dead = append(dead[:i], dead[i+1:]...)
+						break
+					}
+				}
 			}
 			return nil
 		},
@@ -247,11 +262,15 @@ func (r *Reporter) Recover() error {
 	}
 	r.evictDeadLocked()
 	r.evicted.Add(evicted)
+	queued := make(map[uint64]bool, len(order))
 	for _, id := range order {
 		rec, ok := outstanding[id]
-		if !ok {
+		if !ok || queued[id] {
+			// Resolved, or already queued once (a report can enter order
+			// twice when a dead letter was redriven in the same tail).
 			continue
 		}
+		queued[id] = true
 		rt.outstanding[id] = rec
 		rt.queue = append(rt.queue, &retryEntry{
 			rep: &Report{

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xymon/internal/stream"
 	"xymon/internal/sublang"
 	"xymon/internal/wal"
 	"xymon/internal/xmldom"
@@ -39,6 +40,11 @@ type Report struct {
 	// walID identifies the report in the durability journal; 0 when the
 	// Reporter runs without a WAL.
 	walID uint64
+	// streamed marks the report as already published to the notification
+	// change-stream, so retries and recovered redeliveries publish it at
+	// most once more — duplicates across a crash are the at-least-once
+	// contract, duplicates per retry attempt would just be noise.
+	streamed bool
 }
 
 // Delivery receives finished reports. The paper emails them; the default
@@ -102,11 +108,18 @@ type Reporter struct {
 	nextID    atomic.Uint64
 	walErrors atomic.Uint64
 
-	delivered    atomic.Uint64
-	failed       atomic.Uint64
-	retried      atomic.Uint64
-	deadLettered atomic.Uint64
-	evicted      atomic.Uint64
+	// stream, when set, receives every delivered notification batch —
+	// the pull side of delivery (see publish).
+	stream *stream.Log
+
+	delivered       atomic.Uint64
+	failed          atomic.Uint64
+	retried         atomic.Uint64
+	deadLettered    atomic.Uint64
+	evicted         atomic.Uint64
+	redriven        atomic.Uint64
+	streamPublished atomic.Uint64
+	streamErrors    atomic.Uint64
 }
 
 type archivedReport struct {
@@ -435,12 +448,59 @@ func (r *Reporter) buildLocked(sub string, st *subState, now time.Time) []*Repor
 	return out
 }
 
+// WithStream publishes every notification batch to st at delivery
+// time: the durable change-stream consumers poll and replay instead of
+// being pushed at. Publish failures degrade like journal failures —
+// counted, push delivery continues.
+func WithStream(st *stream.Log) Option {
+	return func(r *Reporter) { r.stream = st }
+}
+
+// publish appends the not-yet-streamed reports of a batch to the
+// change-stream — before any push attempt, so stream consumers observe
+// a report even when every push fails and it dead-letters.
+func (r *Reporter) publish(reps []*Report) {
+	if r.stream == nil {
+		return
+	}
+	recs := make([]stream.Record, 0, len(reps))
+	for _, rep := range reps {
+		if rep.streamed {
+			continue
+		}
+		rec := stream.Record{Subscription: rep.Subscription, Time: rep.Time, Notifications: rep.Notifications}
+		if rep.Doc != nil {
+			rec.XML = rep.Doc.XML()
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		return
+	}
+	if _, err := r.stream.Publish(recs); err != nil {
+		r.streamErrors.Add(1)
+		return
+	}
+	for _, rep := range reps {
+		rep.streamed = true
+	}
+	r.streamPublished.Add(uint64(len(recs)))
+}
+
+// StreamStats counts change-stream publication activity: records
+// published, and publishes that failed (stream durability degraded,
+// push delivery continued).
+func (r *Reporter) StreamStats() (published, errors uint64) {
+	return r.streamPublished.Load(), r.streamErrors.Load()
+}
+
 // deliver hands finished reports to the sink — with no lock held — and
 // folds the outcome into the counters. Failures enter the retry queue.
 func (r *Reporter) deliver(reps []*Report) {
 	if len(reps) == 0 {
 		return
 	}
+	r.publish(reps)
 	now := r.clock()
 	for _, rep := range reps {
 		if err := r.delivery.Deliver(rep); err != nil {

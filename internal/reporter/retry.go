@@ -153,6 +153,22 @@ func (r *Reporter) drainRetries(now time.Time) {
 	}
 	rt.queue = keep
 	rt.mu.Unlock()
+	// Reports recovered from the WAL may have crashed between firing and
+	// their stream publish; catch them up before redelivery so stream
+	// consumers never miss what the push path is about to ack.
+	unstreamed := due[:0:0]
+	for _, e := range due {
+		if !e.rep.streamed {
+			unstreamed = append(unstreamed, e)
+		}
+	}
+	if len(unstreamed) > 0 {
+		reps := make([]*Report, len(unstreamed))
+		for i, e := range unstreamed {
+			reps[i] = e.rep
+		}
+		r.publish(reps)
+	}
 	for _, e := range due {
 		r.retried.Add(1)
 		if err := r.delivery.Deliver(e.rep); err != nil {
@@ -179,6 +195,58 @@ func (r *Reporter) DeadLetters() []DeadLetter {
 	return append([]DeadLetter(nil), r.retry.dead...)
 }
 
+// ID returns the dead letter's journal id — the handle Redrive takes.
+// It is 0 when the Reporter runs without a WAL (redrive everything with
+// no ids in that configuration).
+func (d DeadLetter) ID() uint64 { return d.Report.walID }
+
+// Redrive moves dead letters back onto the retry queue with a fresh
+// attempt budget — the operator's "the sink is fixed, try again". With
+// no ids every dead letter is redriven; otherwise only those whose
+// ID() matches. The move is journaled, so a redrive survives a crash:
+// recovery rebuilds the report as outstanding, not dead. Returns the
+// number of letters moved; they deliver on the next Tick.
+func (r *Reporter) Redrive(ids ...uint64) int {
+	want := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	now := r.clock()
+	rt := &r.retry
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	keep := rt.dead[:0]
+	moved := 0
+	for _, d := range rt.dead {
+		if len(ids) > 0 && !want[d.Report.walID] {
+			keep = append(keep, d)
+			continue
+		}
+		moved++
+		if r.wal != nil && d.Report.walID != 0 {
+			// Journal the redrive, and track the report as outstanding
+			// again so a checkpoint taken before its redelivery outcome
+			// snapshots it into the retry queue, not the dead queue.
+			r.journal(walRecord{T: "redrive", ID: d.Report.walID, Time: now})
+			rec := walRecord{
+				T: "fired", ID: d.Report.walID, Sub: d.Report.Subscription,
+				Time: d.Report.Time, Count: d.Report.Notifications,
+			}
+			if d.Report.Doc != nil {
+				rec.XML = d.Report.Doc.XML()
+			}
+			rt.outstanding[d.Report.walID] = rec
+		}
+		rt.queue = append(rt.queue, &retryEntry{rep: d.Report, nextTry: now})
+	}
+	for i := len(keep); i < len(rt.dead); i++ {
+		rt.dead[i] = DeadLetter{}
+	}
+	rt.dead = keep
+	r.redriven.Add(uint64(moved))
+	return moved
+}
+
 // RetryStats counts the Reporter's redelivery activity.
 type RetryStats struct {
 	// Retried counts redelivery attempts.
@@ -187,6 +255,8 @@ type RetryStats struct {
 	DeadLettered uint64
 	// Evicted counts dead letters dropped oldest-first by the cap.
 	Evicted uint64
+	// Redriven counts dead letters moved back onto the retry queue.
+	Redriven uint64
 }
 
 // RetryStats snapshots the redelivery counters.
@@ -195,5 +265,6 @@ func (r *Reporter) RetryStats() RetryStats {
 		Retried:      r.retried.Load(),
 		DeadLettered: r.deadLettered.Load(),
 		Evicted:      r.evicted.Load(),
+		Redriven:     r.redriven.Load(),
 	}
 }

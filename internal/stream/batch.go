@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Batch codec: one wal frame (which already carries a length prefix and
+// CRC32C) holds one published batch. The payload layout is
+//
+//	magic   byte   = 'S'
+//	version byte   = 1
+//	base    uint64 little-endian — offset of the first record
+//	count   uint32 little-endian — number of records
+//	count × ( length uint32 little-endian ‖ record JSON )
+//
+// Record offsets are derived (base+i), never stored, so a batch cannot
+// claim a gap: offsets are contiguous within a batch by construction,
+// and the writer validates contiguity across batches on recovery.
+
+// ErrBadBatch reports a batch payload that cannot have been produced by
+// this writer: bad magic/version, a length field pointing outside the
+// payload, or trailing bytes after the last record.
+var ErrBadBatch = errors.New("stream: malformed batch")
+
+const (
+	batchMagic   = 'S'
+	batchVersion = 1
+	batchHeader  = 1 + 1 + 8 + 4
+	// maxBatchRecords bounds the declared record count against absurd
+	// headers: each record needs at least its 4-byte length field.
+	maxBatchRecords = 1 << 20
+)
+
+// appendBatch encodes a batch of already-serialised records onto dst.
+func appendBatch(dst []byte, base uint64, recs [][]byte) []byte {
+	dst = append(dst, batchMagic, batchVersion)
+	dst = binary.LittleEndian.AppendUint64(dst, base)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(recs)))
+	for _, rec := range recs {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rec)))
+		dst = append(dst, rec...)
+	}
+	return dst
+}
+
+// decodeBatchHeader reads just the base offset and record count —
+// enough for the writer's segment index and continuity checks without
+// touching the record bytes. It accepts a header-only prefix; the
+// count-versus-payload-size check belongs to decodeBatch, which sees
+// the whole payload.
+func decodeBatchHeader(payload []byte) (base uint64, count int, err error) {
+	if len(payload) < batchHeader {
+		return 0, 0, fmt.Errorf("%w: %d-byte payload", ErrBadBatch, len(payload))
+	}
+	if payload[0] != batchMagic || payload[1] != batchVersion {
+		return 0, 0, fmt.Errorf("%w: magic %02x%02x", ErrBadBatch, payload[0], payload[1])
+	}
+	base = binary.LittleEndian.Uint64(payload[2:10])
+	n := binary.LittleEndian.Uint32(payload[10:14])
+	if n > maxBatchRecords {
+		return 0, 0, fmt.Errorf("%w: implausible record count %d", ErrBadBatch, n)
+	}
+	if base+uint64(n) < base {
+		return 0, 0, fmt.Errorf("%w: offset wrap at base %d", ErrBadBatch, base)
+	}
+	return base, int(n), nil
+}
+
+// decodeBatch validates the full payload and returns the record bytes.
+// Every length field must land inside the payload and the records must
+// consume it exactly — a batch either decodes whole or not at all.
+func decodeBatch(payload []byte) (base uint64, recs [][]byte, err error) {
+	base, count, err := decodeBatchHeader(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if count*4 > len(payload)-batchHeader {
+		return 0, nil, fmt.Errorf("%w: record count %d beyond payload", ErrBadBatch, count)
+	}
+	rest := payload[batchHeader:]
+	recs = make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < 4 {
+			return 0, nil, fmt.Errorf("%w: record %d header beyond payload", ErrBadBatch, i)
+		}
+		n := int(binary.LittleEndian.Uint32(rest[:4]))
+		if n > len(rest)-4 {
+			return 0, nil, fmt.Errorf("%w: record %d length %d beyond payload", ErrBadBatch, i, n)
+		}
+		recs = append(recs, rest[4:4+n])
+		rest = rest[4+n:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadBatch, len(rest))
+	}
+	return base, recs, nil
+}

@@ -1,0 +1,173 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xymon/internal/wal"
+)
+
+// Cursor is a consumer's durable position in the stream: the offset of
+// the next record it has NOT yet consumed. Commit is atomic — temp file
+// → fsync → rename → parent-dir fsync — so a crash mid-commit leaves
+// either the previous offset or the new one, never a torn value, and
+// recovery resumes from the last synced offset: at-least-once, records
+// may replay, none are skipped.
+//
+// One file per consumer under <stream>/cursors/<name>.cur; the payload
+// is a wal Binary frame (CRC-checked) holding the offset, so a damaged
+// cursor is detected rather than silently resetting a consumer to zero.
+type Cursor struct {
+	dir    string // the cursors directory
+	path   string
+	tmp    string
+	name   string
+	hook   wal.Hook
+	offset uint64
+}
+
+const (
+	cursorDirName = "cursors"
+	cursorExt     = ".cur"
+)
+
+// validConsumer restricts consumer names to file-name-safe characters.
+func validConsumer(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return !strings.HasPrefix(name, ".")
+}
+
+// OpenCursor loads (creating the directory if needed) the named
+// consumer's cursor for the stream rooted at streamDir. A leftover
+// temp file — a crash before the rename — is discarded: the previous
+// committed offset rules. A missing cursor file starts at offset 0.
+func OpenCursor(streamDir, consumer string, hook wal.Hook) (*Cursor, error) {
+	if !validConsumer(consumer) {
+		return nil, fmt.Errorf("stream: invalid consumer name %q", consumer)
+	}
+	c := &Cursor{
+		dir:  filepath.Join(streamDir, cursorDirName),
+		name: consumer,
+		hook: hook,
+	}
+	c.path = filepath.Join(c.dir, consumer+cursorExt)
+	c.tmp = c.path + ".tmp"
+	if err := c.consult(OpRead); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if err := os.Remove(c.tmp); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	off, ok, err := readCursorFile(c.path)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		c.offset = off
+	}
+	return c, nil
+}
+
+func (c *Cursor) consult(op string) error {
+	if c.hook == nil {
+		return nil
+	}
+	return c.hook(op, c.name)
+}
+
+// Name returns the consumer name.
+func (c *Cursor) Name() string { return c.name }
+
+// Offset returns the last committed offset — the next record the
+// consumer has not yet durably consumed.
+func (c *Cursor) Offset() uint64 { return c.offset }
+
+// Commit durably records off. The install is atomic (temp → fsync →
+// rename → parent-dir fsync): a crash before the rename keeps the
+// previous offset, so recovery replays rather than skips.
+func (c *Cursor) Commit(off uint64) error {
+	if err := c.consult(OpCursorCommit); err != nil {
+		return err
+	}
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], off)
+	frame, err := wal.Binary{}.AppendFrame(nil, p[:])
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteFileSync(c.tmp, frame, 0o644); err != nil {
+		return err
+	}
+	if err := c.consult(OpCursorInstall); err != nil {
+		return err
+	}
+	if err := os.Rename(c.tmp, c.path); err != nil {
+		return fmt.Errorf("stream: installing cursor: %w", err)
+	}
+	if err := wal.SyncDir(c.dir); err != nil {
+		return err
+	}
+	c.offset = off
+	return nil
+}
+
+// readCursorFile decodes one cursor file. The install is atomic, so a
+// present-but-undecodable file is damage, not a crash artifact.
+func readCursorFile(path string) (off uint64, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("stream: %w", err)
+	}
+	payload, size, err := wal.Binary{}.Next(data)
+	if err != nil || size != len(data) || len(payload) != 8 {
+		return 0, false, fmt.Errorf("stream: corrupt cursor %s", filepath.Base(path))
+	}
+	return binary.LittleEndian.Uint64(payload), true, nil
+}
+
+// readCursors returns every consumer's committed offset — the input to
+// the retention policy. Temp files (uncommitted) are ignored.
+func readCursors(streamDir string) (map[string]uint64, error) {
+	dir := filepath.Join(streamDir, cursorDirName)
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	cursors := make(map[string]uint64)
+	for _, e := range entries {
+		name, found := strings.CutSuffix(e.Name(), cursorExt)
+		if !found || e.IsDir() {
+			continue
+		}
+		off, ok, err := readCursorFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			cursors[name] = off
+		}
+	}
+	return cursors, nil
+}

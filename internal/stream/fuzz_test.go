@@ -1,0 +1,48 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzStreamRecords throws arbitrary bytes at the batch codec. Whatever
+// the input, decoding must terminate without panicking, never read past
+// the payload, and either reject the batch whole (ErrBadBatch) or
+// return records whose re-encode reproduces the input exactly — a batch
+// decodes whole or not at all, so a truncated or bit-flipped payload
+// can never surface as a phantom partial batch.
+func FuzzStreamRecords(f *testing.F) {
+	seed := func(base uint64, recs ...[]byte) []byte {
+		return appendBatch(nil, base, recs)
+	}
+	f.Add([]byte{})
+	f.Add(seed(0, []byte(`{"sub":"S"}`)))
+	f.Add(seed(41, []byte("a"), []byte(""), bytes.Repeat([]byte("x"), 300)))
+	f.Add(seed(7, []byte("torn"))[:9])
+	f.Add([]byte{batchMagic, batchVersion, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base, recs, err := decodeBatch(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadBatch) {
+				t.Fatalf("decode error is not ErrBadBatch: %v", err)
+			}
+			return
+		}
+		// Derived offsets must not wrap around.
+		if base+uint64(len(recs)) < base {
+			t.Fatalf("offset wrap: base=%d count=%d", base, len(recs))
+		}
+		// Round-trip: what the decoder accepts, the encoder produces.
+		rebuilt := appendBatch(nil, base, recs)
+		if !bytes.Equal(rebuilt, data) {
+			t.Fatalf("re-encode mismatch: %d bytes in, %d rebuilt", len(data), len(rebuilt))
+		}
+		// The header-only decoder agrees with the full one.
+		hbase, hcount, herr := decodeBatchHeader(data)
+		if herr != nil || hbase != base || hcount != len(recs) {
+			t.Fatalf("header decode disagrees: %d/%d/%v vs %d/%d", hbase, hcount, herr, base, len(recs))
+		}
+	})
+}

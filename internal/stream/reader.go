@@ -1,0 +1,276 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"xymon/internal/wal"
+)
+
+// DefaultMaxFetch bounds the records one Poll returns when the caller
+// does not — the backpressure half of the contract: a consumer pulls
+// bounded batches at its own pace instead of the reporter pushing
+// unbounded queues at it.
+const DefaultMaxFetch = 256
+
+// ReaderOptions configures a Reader.
+type ReaderOptions struct {
+	// Hook, when non-nil, is consulted at OpRead before every poll and
+	// at the cursor commit points, with the consumer name as the key.
+	Hook wal.Hook
+	// MaxFetch caps records per Poll; 0 means DefaultMaxFetch.
+	MaxFetch int
+}
+
+// Reader is the consume side of the stream: it polls batches from the
+// segment files directly (no writer handle needed, so it works from
+// another process), tracks its position in memory, and commits it
+// durably through a Cursor. Not safe for concurrent use — one Reader
+// per consumer goroutine, which is what a cursor means anyway.
+type Reader struct {
+	dir      string
+	consumer string
+	o        ReaderOptions
+	cur      *Cursor
+	next     uint64
+}
+
+// OpenReader opens the named consumer's view of the stream rooted at
+// dir, resuming from its recovered cursor — the last committed offset,
+// so anything consumed but not committed before a crash replays.
+func OpenReader(dir, consumer string, o ReaderOptions) (*Reader, error) {
+	cur, err := OpenCursor(dir, consumer, o.Hook)
+	if err != nil {
+		return nil, err
+	}
+	if o.MaxFetch <= 0 {
+		o.MaxFetch = DefaultMaxFetch
+	}
+	return &Reader{dir: dir, consumer: consumer, o: o, cur: cur, next: cur.Offset()}, nil
+}
+
+func (r *Reader) consult(op string) error {
+	if r.o.Hook == nil {
+		return nil
+	}
+	return r.o.Hook(op, r.consumer)
+}
+
+// Next returns the offset of the next record Poll will return.
+func (r *Reader) Next() uint64 { return r.next }
+
+// Committed returns the durably committed cursor offset.
+func (r *Reader) Committed() uint64 { return r.cur.Offset() }
+
+// Seek repositions the reader (in memory; Commit makes it durable).
+func (r *Reader) Seek(off uint64) { r.next = off }
+
+// Commit durably commits the reader's position: every record returned
+// by Poll so far is acknowledged and will not replay.
+func (r *Reader) Commit() error { return r.cur.Commit(r.next) }
+
+// Poll returns up to max records from the reader's position, advancing
+// it past what was returned. An empty result means the consumer is
+// caught up (or the writer's tail is mid-append — poll again later).
+// If retention reclaimed the position, Poll returns a *TruncatedError
+// wrapping ErrTruncated; re-sync via SeekOldest and accept the gap.
+func (r *Reader) Poll(max int) ([]Record, error) {
+	if max <= 0 || max > r.o.MaxFetch {
+		max = r.o.MaxFetch
+	}
+	if err := r.consult(OpRead); err != nil {
+		return nil, err
+	}
+	// Retention in the writer process can delete a segment between our
+	// directory listing and the read; one retry re-lists. On any error
+	// the position rolls back so a later Poll cannot skip the records
+	// a failed pass consumed in memory.
+	startNext := r.next
+	for attempt := 0; ; attempt++ {
+		recs, err := r.read(max)
+		if err != nil {
+			r.next = startNext
+			if os.IsNotExist(errors.Unwrap(err)) && attempt == 0 {
+				continue
+			}
+			return nil, err
+		}
+		return recs, nil
+	}
+}
+
+// SeekOldest repositions the reader at the oldest retained offset — the
+// documented re-sync path after ErrTruncated — and returns it.
+func (r *Reader) SeekOldest() (uint64, error) {
+	if err := r.consult(OpRead); err != nil {
+		return 0, err
+	}
+	segs, err := listSegments(r.dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range segs {
+		if s.hasBase {
+			r.next = s.base
+			return s.base, nil
+		}
+	}
+	// No batch anywhere: nothing retained; stay put.
+	return r.next, nil
+}
+
+// segInfo is one on-disk segment and the base offset of its first
+// batch, when it has one (a freshly rotated segment may be empty).
+type segInfo struct {
+	idx     int
+	base    uint64
+	hasBase bool
+}
+
+// listSegments lists the stream's segment files with their base
+// offsets, ascending. Only batch headers are read.
+func listSegments(dir string) ([]segInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	var idxs []int
+	for _, e := range entries {
+		var idx int
+		if _, err := fmt.Sscanf(e.Name(), "seg-%08d.wal", &idx); err == nil {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Ints(idxs)
+	segs := make([]segInfo, 0, len(idxs))
+	for _, idx := range idxs {
+		s := segInfo{idx: idx}
+		base, ok, err := readSegBase(filepath.Join(dir, wal.SegmentFileName(idx)))
+		if err != nil {
+			return nil, err
+		}
+		s.base, s.hasBase = base, ok
+		segs = append(segs, s)
+	}
+	return segs, nil
+}
+
+// readSegBase decodes the base offset of a segment's first batch
+// without reading the whole file. ok is false for an empty segment or
+// one whose first frame is still being written (torn).
+func readSegBase(path string) (base uint64, ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil // deleted by retention mid-listing
+		}
+		return 0, false, fmt.Errorf("stream: %w", err)
+	}
+	defer f.Close()
+	// Frame header (8) + batch header is all decodeBatchHeader needs.
+	buf := make([]byte, 8+batchHeader)
+	n, _ := f.Read(buf)
+	if n < len(buf) {
+		return 0, false, nil // empty or torn-short first frame
+	}
+	// Reading a prefix of the frame: skip the wal header and decode the
+	// batch header directly; the full-frame CRC is checked when the
+	// records are actually polled.
+	base, _, err = decodeBatchHeader(buf[8:])
+	if err != nil {
+		return 0, false, fmt.Errorf("stream: %s: %w", filepath.Base(path), err)
+	}
+	return base, true, nil
+}
+
+// read performs one poll pass over the segment files.
+func (r *Reader) read(max int) ([]Record, error) {
+	segs, err := listSegments(r.dir)
+	if err != nil {
+		return nil, err
+	}
+	start := -1
+	var first uint64
+	haveFirst := false
+	for i, s := range segs {
+		if !s.hasBase {
+			continue
+		}
+		if !haveFirst {
+			first, haveFirst = s.base, true
+		}
+		if s.base <= r.next {
+			start = i
+		}
+	}
+	if !haveFirst {
+		return nil, nil // nothing published yet
+	}
+	if r.next < first {
+		return nil, &TruncatedError{Consumer: r.consumer, Requested: r.next, First: first}
+	}
+	if start < 0 {
+		return nil, nil
+	}
+	var out []Record
+	for si := start; si < len(segs) && len(out) < max; si++ {
+		done, err := r.readSegment(segs[si], max, &out)
+		if err != nil || done {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// readSegment scans one segment from the reader's position, appending
+// up to max records total into out. done reports that the scan hit the
+// stream's tail (torn or end of active data) and later segments must
+// not be read.
+func (r *Reader) readSegment(s segInfo, max int, out *[]Record) (done bool, err error) {
+	data, err := os.ReadFile(filepath.Join(r.dir, wal.SegmentFileName(s.idx)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return true, fmt.Errorf("stream: segment vanished: %w", err)
+		}
+		return true, fmt.Errorf("stream: %w", err)
+	}
+	fr := wal.Binary{}
+	off := 0
+	for off < len(data) {
+		payload, size, err := fr.Next(data[off:])
+		if err != nil {
+			if errors.Is(err, wal.ErrCorrupt) {
+				return true, fmt.Errorf("stream: segment %s at byte %d: %w", wal.SegmentFileName(s.idx), off, err)
+			}
+			// Torn frame: the writer is mid-append (or crashed; its next
+			// Open truncates this). Durable data ends here.
+			return true, nil
+		}
+		base, recs, err := decodeBatch(payload)
+		if err != nil {
+			return true, fmt.Errorf("stream: segment %s: %w", wal.SegmentFileName(s.idx), err)
+		}
+		for i, raw := range recs {
+			o := base + uint64(i)
+			if o < r.next {
+				continue
+			}
+			if len(*out) >= max {
+				return true, nil
+			}
+			var rec Record
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return true, fmt.Errorf("stream: record %d: %w", o, err)
+			}
+			rec.Offset = o
+			*out = append(*out, rec)
+			r.next = o + 1
+		}
+		off += size
+	}
+	return false, nil
+}

@@ -84,6 +84,7 @@ type Log struct {
 	seg    *File // active segment
 	segs   []int // live segment indexes, ascending; last is active
 	bound  int   // first segment the checkpoint does not cover
+	retain int   // first segment preserved on disk (≤ bound)
 	snap   []byte
 	closed bool
 	stats  Stats
@@ -96,11 +97,21 @@ const (
 
 func segName(idx int) string { return fmt.Sprintf("seg-%08d.wal", idx) }
 
+// SegmentFileName returns the file name (inside the log directory) of
+// the segment with the given index. Layered readers — internal/stream's
+// offset-addressable change-stream — locate retained segments by it.
+func SegmentFileName(idx int) string { return segName(idx) }
+
 // checkpointMeta is the first frame of a checkpoint file.
 type checkpointMeta struct {
 	// Boundary is the first segment index NOT covered by the snapshot:
 	// recovery restores the snapshot, then replays segments ≥ Boundary.
 	Boundary int `json:"boundary"`
+	// Retain is the first segment index preserved on disk. Checkpoints
+	// written by CheckpointRetain keep covered segments in [Retain,
+	// Boundary) readable for layered consumers; plain Checkpoint leaves
+	// it 0, which means "same as Boundary" (nothing extra retained).
+	Retain int `json:"retain,omitempty"`
 }
 
 // Open opens (creating if needed) the log rooted at dir and repairs any
@@ -114,7 +125,7 @@ func Open(dir string, o Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, key: filepath.Base(dir), o: o, fr: o.Framing, bound: 1}
+	l := &Log{dir: dir, key: filepath.Base(dir), o: o, fr: o.Framing, bound: 1, retain: 1}
 	if l.fr == nil {
 		l.fr = Binary{MaxFrame: o.MaxFrame}
 	}
@@ -151,11 +162,18 @@ func (l *Log) loadCheckpoint() error {
 	if err := json.Unmarshal(metaRaw, &meta); err != nil || meta.Boundary < 1 {
 		return fmt.Errorf("%w: checkpoint meta %q", ErrCorrupt, metaRaw)
 	}
+	if meta.Retain < 0 || meta.Retain > meta.Boundary {
+		return fmt.Errorf("%w: checkpoint retain %d outside [0, %d]", ErrCorrupt, meta.Retain, meta.Boundary)
+	}
 	snap, size, err := l.fr.Next(data[n:])
 	if err != nil || n+size != len(data) {
 		return fmt.Errorf("wal: checkpoint snapshot: %w", errors.Join(ErrCorrupt, err))
 	}
 	l.bound = meta.Boundary
+	l.retain = meta.Retain
+	if l.retain == 0 {
+		l.retain = meta.Boundary
+	}
 	l.snap = append([]byte(nil), snap...)
 	return nil
 }
@@ -178,7 +196,7 @@ func (l *Log) loadSegments() error {
 	sort.Ints(idxs)
 	live := idxs[:0]
 	for _, idx := range idxs {
-		if idx < l.bound {
+		if idx < l.retain {
 			if err := os.Remove(filepath.Join(l.dir, segName(idx))); err != nil {
 				return fmt.Errorf("wal: removing covered segment: %w", err)
 			}
@@ -294,6 +312,12 @@ func (l *Log) Recover(snap func(snapshot []byte) error, replay func(payload []by
 		}
 	}
 	for _, idx := range l.segs {
+		if idx < l.bound {
+			// Retained below the boundary: the snapshot already covers
+			// these records; they stay on disk for layered readers, not
+			// for replay.
+			continue
+		}
 		data, err := os.ReadFile(filepath.Join(l.dir, segName(idx)))
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
@@ -318,6 +342,21 @@ func (l *Log) Recover(snap func(snapshot []byte) error, replay func(payload []by
 // checkpoint with its segments or the new one, never a mix recovery
 // cannot read.
 func (l *Log) Checkpoint(write func(w io.Writer) error) error {
+	return l.checkpoint(-1, write)
+}
+
+// CheckpointRetain is Checkpoint with a segment-retention bound: the
+// snapshot still covers every record appended so far, but segments with
+// index ≥ retain survive compaction and reopen. Recovery replays only
+// records after the snapshot's boundary; the retained segments are data
+// a layered reader (internal/stream) addresses directly. retain is
+// clamped to [oldest live segment, boundary]; retain == boundary is
+// plain Checkpoint.
+func (l *Log) CheckpointRetain(retain int, write func(w io.Writer) error) error {
+	return l.checkpoint(retain, write)
+}
+
+func (l *Log) checkpoint(retain int, write func(w io.Writer) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -330,6 +369,12 @@ func (l *Log) Checkpoint(write func(w io.Writer) error) error {
 		return err
 	}
 	boundary := l.segs[len(l.segs)-1]
+	if retain < 0 || retain > boundary {
+		retain = boundary
+	}
+	if retain < l.segs[0] {
+		retain = l.segs[0]
+	}
 
 	var snap bytes.Buffer
 	// The snapshot writer runs under l.mu so no append can land between
@@ -339,7 +384,11 @@ func (l *Log) Checkpoint(write func(w io.Writer) error) error {
 	if err := write(&snap); err != nil {
 		return fmt.Errorf("wal: checkpoint snapshot: %w", err)
 	}
-	metaRaw, err := json.Marshal(checkpointMeta{Boundary: boundary})
+	meta := checkpointMeta{Boundary: boundary}
+	if retain < boundary {
+		meta.Retain = retain
+	}
+	metaRaw, err := json.Marshal(meta)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -370,24 +419,42 @@ func (l *Log) Checkpoint(write func(w io.Writer) error) error {
 	if err := SyncDir(l.dir); err != nil {
 		return err
 	}
-	// Compact: the checkpoint now rules, the covered segments are dead
-	// weight. A crash mid-loop leaves leftovers Open deletes next time.
-	covered := l.segs[:len(l.segs)-1]
-	for i, idx := range covered {
+	// Compact: the checkpoint now rules, the covered segments below the
+	// retention bound are dead weight. A crash mid-loop leaves leftovers
+	// Open deletes next time.
+	kept := l.segs[:0]
+	deleted := 0
+	for _, idx := range l.segs[:len(l.segs)-1] {
+		if idx >= retain {
+			kept = append(kept, idx)
+			continue
+		}
 		if err := os.Remove(filepath.Join(l.dir, segName(idx))); err != nil {
 			return fmt.Errorf("wal: compacting: %w", err)
 		}
-		if i == 0 {
+		deleted++
+		if deleted == 1 {
 			if err := l.hook(OpCheckpointCompact); err != nil {
 				return err
 			}
 		}
 	}
-	l.segs = l.segs[len(l.segs)-1:]
+	kept = append(kept, l.segs[len(l.segs)-1])
+	l.segs = kept
 	l.bound = boundary
+	l.retain = retain
 	l.snap = append(l.snap[:0], snap.Bytes()...)
 	l.stats.Checkpoints++
 	return nil
+}
+
+// Segments returns the live segment indexes, ascending; the last one is
+// the active (append) segment. Segments below the checkpoint boundary
+// are retained history a CheckpointRetain preserved.
+func (l *Log) Segments() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]int(nil), l.segs...)
 }
 
 // Stats snapshots the log's counters.

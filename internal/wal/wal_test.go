@@ -397,3 +397,67 @@ func TestCheckpointSnapshotTooLargeFails(t *testing.T) {
 	}
 	l.Close()
 }
+
+// TestCheckpointRetainPreservesSegments pins the stream satellite: a
+// retention-aware checkpoint covers every record in its snapshot but
+// keeps segments ≥ retain on disk, recovery does not replay them, and
+// they survive a reopen until a later checkpoint raises the bound.
+func TestCheckpointRetainPreservesSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, Options{SegmentBytes: 64})
+	for i := 0; i < 20; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("pre-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore := l.Segments()
+	if len(segsBefore) < 3 {
+		t.Fatalf("want ≥3 segments before checkpoint, have %v", segsBefore)
+	}
+	// Retain everything from the second live segment onward.
+	keepFrom := segsBefore[1]
+	if err := l.CheckpointRetain(keepFrom, func(w io.Writer) error {
+		_, err := w.Write([]byte("SNAP"))
+		return err
+	}); err != nil {
+		t.Fatalf("CheckpointRetain: %v", err)
+	}
+	for _, idx := range l.Segments() {
+		if idx < keepFrom {
+			t.Errorf("segment %d below retain bound survived", idx)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, SegmentFileName(keepFrom))); err != nil {
+		t.Fatalf("retained segment gone: %v", err)
+	}
+	if err := l.Append([]byte("post-0")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Reopen: retained segments stay on disk, recovery replays only the
+	// post-boundary tail (the snapshot covers the retained history).
+	l2 := openLog(t, dir, Options{SegmentBytes: 64})
+	if got := l2.Segments(); got[0] != keepFrom {
+		t.Errorf("reopened segments = %v, want first %d", got, keepFrom)
+	}
+	snap, got := collect(t, l2)
+	if string(snap) != "SNAP" {
+		t.Errorf("snapshot = %q", snap)
+	}
+	if len(got) != 1 || string(got[0]) != "post-0" {
+		t.Errorf("replayed tail = %q, want just post-0", got)
+	}
+
+	// A plain Checkpoint afterwards compacts the retained history away.
+	if err := l2.Checkpoint(func(w io.Writer) error {
+		_, err := w.Write([]byte("SNAP2"))
+		return err
+	}); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if got := l2.Segments(); len(got) != 1 {
+		t.Errorf("segments after plain checkpoint = %v, want 1", got)
+	}
+	l2.Close()
+}

@@ -37,6 +37,7 @@ import (
 	"xymon/internal/manager"
 	"xymon/internal/reporter"
 	"xymon/internal/semantic"
+	"xymon/internal/stream"
 	"xymon/internal/sublang"
 	"xymon/internal/trigger"
 	"xymon/internal/wal"
@@ -77,13 +78,22 @@ type Options struct {
 	// JournalPath persists the subscription base to a JSON-lines file for
 	// recovery; empty keeps it in memory only. DurableDir supersedes it.
 	JournalPath string
-	// DurableDir enables the crash-safe durability layer: three
-	// write-ahead logs under this directory persist the subscription base
-	// (subs/), the Reporter's notification buffers and undelivered
-	// reports (reporter/), and the Trigger Engine's evaluation marks
-	// (trigger/). New recovers all three before returning, Checkpoint
-	// compacts them, and Close releases them.
+	// DurableDir enables the crash-safe durability layer: write-ahead
+	// logs under this directory persist the subscription base (subs/),
+	// the Reporter's notification buffers and undelivered reports
+	// (reporter/), and the Trigger Engine's evaluation marks (trigger/),
+	// plus the notification change-stream (stream/) every delivered
+	// report batch is published to for pull consumers with durable
+	// cursors. New recovers them all before returning, Checkpoint
+	// compacts them (applying stream retention), and Close releases
+	// them.
 	DurableDir string
+	// StreamMaxBehind is the change-stream's retention floor: at most
+	// this many records are kept behind the head for lagging consumers;
+	// past it a consumer is truncated (stream.ErrTruncated) and must
+	// re-sync. 0 keeps everything any live cursor still needs. Only
+	// meaningful with DurableDir.
+	StreamMaxBehind uint64
 	// Faults threads a fault injector into the durability layer: rules
 	// armed at the faults.PointWAL* points fire inside WAL appends and
 	// checkpoint installation (the crash harness's kill switch). Nil
@@ -124,8 +134,12 @@ type System struct {
 	Matcher    *core.Matcher
 	Pipeline   *alerter.Pipeline
 	Classifier *semantic.Classifier
-	clock      func() time.Time
-	dataDir    string
+	// Stream is the durable notification change-stream (nil without
+	// Options.DurableDir): open a stream.Reader on its directory to
+	// consume reports at your own pace with a durable cursor.
+	Stream  *stream.Log
+	clock   func() time.Time
+	dataDir string
 	// closers releases the durability layer (journal + WAL logs).
 	closers []io.Closer
 }
@@ -173,6 +187,13 @@ func New(opts Options) (*System, error) {
 			return fail(err)
 		}
 		s.closers = append(s.closers, walTrig)
+		if s.Stream, err = stream.Open(filepath.Join(opts.DurableDir, "stream"), stream.Options{
+			Hook:      hook,
+			MaxBehind: opts.StreamMaxBehind,
+		}); err != nil {
+			return fail(err)
+		}
+		s.closers = append(s.closers, s.Stream)
 	} else if opts.JournalPath != "" {
 		fj, err := manager.NewFileJournal(opts.JournalPath)
 		if err != nil {
@@ -185,6 +206,9 @@ func New(opts Options) (*System, error) {
 	repOpts := []reporter.Option{reporter.WithClock(clock)}
 	if walRep != nil {
 		repOpts = append(repOpts, reporter.WithWAL(walRep))
+	}
+	if s.Stream != nil {
+		repOpts = append(repOpts, reporter.WithStream(s.Stream))
 	}
 	s.Reporter = reporter.New(opts.Delivery, repOpts...)
 	trigOpts := []trigger.Option{trigger.WithClock(clock)}
@@ -283,7 +307,17 @@ func (s *System) Checkpoint() error {
 	if err := s.Reporter.Checkpoint(); err != nil {
 		return err
 	}
-	return s.Trigger.Checkpoint()
+	if err := s.Trigger.Checkpoint(); err != nil {
+		return err
+	}
+	if s.Stream != nil {
+		// Stream retention: reclaim segments every live cursor has
+		// passed, bounded below by StreamMaxBehind.
+		if _, err := s.Stream.Retain(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close flushes and releases the durability layer. The System must not
