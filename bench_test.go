@@ -646,6 +646,59 @@ report when notifications.count > 1000000`, i, word)
 	}
 }
 
+// BenchmarkRefetchUnchanged measures the warehouse's tiered change
+// detection on the monitoring loop's dominant case: refetches of tracked
+// pages whose bytes differ (webgen whitespace reflow) but whose content
+// did not change. The tiered mode resolves them with one streaming
+// tokenize+hash (no DOM, no diff); the alwaysdiff baseline pays the full
+// parse and canonical comparison per page.
+func BenchmarkRefetchUnchanged(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		alwaysDiff bool
+	}{
+		{"tiered", false},
+		{"alwaysdiff", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			start := time.Date(2001, 5, 21, 0, 0, 0, 0, time.UTC)
+			now := start
+			sys, err := New(Options{
+				Clock:       func() time.Time { return now },
+				Delivery:    DeliveryFunc(func(*Report) error { return nil }),
+				AlwaysParse: true, // gate off: every page reaches the warehouse
+				AlwaysDiff:  mode.alwaysDiff,
+			})
+			if err != nil {
+				b.Fatalf("New: %v", err)
+			}
+			for i := 0; i < shortScale([]int{10}, []int{2})[0]; i++ {
+				sys.AddSite(NewSite(SiteSpec{
+					BaseURL: fmt.Sprintf("http://still%d.example", i),
+					Pages:   20, Products: 100, Seed: int64(i),
+					PerturbEvery: 1 << 16, PerturbKind: PerturbWhitespace,
+				}))
+			}
+			pages := sys.Crawler.Pages()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Each round serves a byte-different serialization of the
+				// same content: tier 1 misses, tier 2 decides.
+				now = start.Add(time.Duration(i%8) * sys.Crawler.ChangeEvery)
+				sys.Crawler.FetchAll()
+			}
+			b.StopTimer()
+			ws := sys.Store.Stats()
+			total := ws.SkippedRawSig + ws.SkippedStructHash + ws.Parsed
+			if total > 0 {
+				b.ReportMetric(100*float64(ws.SkippedStructHash)/float64(total), "structskip%")
+			}
+			b.ReportMetric(float64(b.N*pages)/b.Elapsed().Seconds(), "pages/s")
+		})
+	}
+}
+
 // BenchmarkClusterMatch measures distributed matching over loopback TCP —
 // the per-document cost of the Section 4.2 distribution when blocks live
 // in other processes (here: other goroutines behind real sockets).

@@ -34,7 +34,7 @@ func runHashcache(pkg *Package) []Finding {
 			out = append(out, Finding{
 				Pos:  call.Pos(),
 				Rule: "hashcache",
-				Msg:  "direct fnv." + name + " outside internal/xmldom; use xmldom.HashString/HashFold (or Node.Hash64, Document.Hashes for trees) so hashes stay cached and comparable",
+				Msg:  "direct fnv." + name + " outside internal/xmldom; use xmldom.HashString/HashFold (Node.Hash64, Document.Hashes for trees, StreamHasher for raw bytes) so hashes stay cached and comparable",
 			})
 			return true
 		})

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xymon/internal/faults"
@@ -98,6 +99,14 @@ type Entry struct {
 	// refetch of each page pays one parse, then the fast path resumes.
 	rawSig [sha256.Size]byte
 	rawOK  bool
+	// structHash is the structural subtree hash of the current version's
+	// root — what xmldom.StreamHasher computes for any serialization of
+	// the tree. Recorded inside the same critical section as the commit,
+	// like rawSig, so a structural-hash hit can never pair with a
+	// superseded version. Unlike rawSig it survives DOM-path commits: it
+	// is a function of the tree, not of the bytes it arrived in.
+	structHash uint64
+	structOK   bool
 }
 
 // CommitResult reports what a commit did.
@@ -117,14 +126,49 @@ var ErrUnknownURL = errors.New("warehouse: unknown URL")
 
 // Store is the repository. It is safe for concurrent use.
 type Store struct {
-	mu      sync.RWMutex
-	pages   map[string]*Entry
-	domains map[string]map[string]bool // domain -> set of URLs
-	dtdIDs  map[string]uint64
-	nextDoc uint64
-	nextDTD uint64
-	clock   func() time.Time
-	faults  *faults.Injector
+	mu         sync.RWMutex
+	pages      map[string]*Entry
+	domains    map[string]map[string]bool // domain -> set of URLs
+	dtdIDs     map[string]uint64
+	nextDoc    uint64
+	nextDTD    uint64
+	clock      func() time.Time
+	faults     *faults.Injector
+	alwaysDiff bool
+
+	// Tiered ingest counters (see Stats). Atomic: bumped outside the
+	// commit lock so the fast paths stay fast.
+	statRawSig     atomic.Uint64
+	statStructHash atomic.Uint64
+	statParsed     atomic.Uint64
+	statDiffed     atomic.Uint64
+}
+
+// Stats is a snapshot of the tiered ingest counters: how many XML byte
+// commits were resolved at each tier of the change-detection cascade.
+type Stats struct {
+	// SkippedRawSig counts tier-1 hits: byte-identical refetches resolved
+	// by one SHA-256, no tokenize.
+	SkippedRawSig uint64
+	// SkippedStructHash counts tier-2 hits: byte-different but
+	// structurally identical refetches resolved by one streaming
+	// tokenize+hash pass, no DOM build.
+	SkippedStructHash uint64
+	// Parsed counts full ParseBytes DOM builds (both tiers missed).
+	Parsed uint64
+	// Diffed counts xydiff runs — commits whose canonical form actually
+	// differed from the stored version.
+	Diffed uint64
+}
+
+// Stats returns a snapshot of the tiered ingest counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		SkippedRawSig:     s.statRawSig.Load(),
+		SkippedStructHash: s.statStructHash.Load(),
+		Parsed:            s.statParsed.Load(),
+		Diffed:            s.statDiffed.Load(),
+	}
 }
 
 // Option configures a Store.
@@ -134,6 +178,14 @@ type Option func(*Store)
 // use a virtual clock.
 func WithClock(clock func() time.Time) Option {
 	return func(s *Store) { s.clock = clock }
+}
+
+// WithAlwaysDiff disables the raw-signature and structural-hash unchanged
+// fast paths: every byte commit pays the full parse and canonical-form
+// comparison. This is the benchmark baseline the tiered path is measured
+// against; it is not meant for production stores.
+func WithAlwaysDiff() Option {
+	return func(s *Store) { s.alwaysDiff = true }
 }
 
 // WithInjector installs a fault injector consulted at the store's
@@ -180,37 +232,122 @@ func Signature(content []byte) [sha256.Size]byte {
 // metadata. The dtd and domain describe the document class; they may be
 // empty.
 func (s *Store) CommitXML(url, dtd, domain string, doc *xmldom.Document) (*CommitResult, error) {
-	return s.commitXML(url, dtd, domain, doc, nil)
+	return s.commitXML(url, dtd, domain, doc, nil, nil)
 }
 
+// streamHasherPool recycles streaming hashers across commits; a pooled
+// hasher retains its scratch, so the tier-2 probe does not allocate.
+var streamHasherPool = sync.Pool{New: func() any { return new(xmldom.StreamHasher) }}
+
 // CommitXMLBytes parses serialized XML with xmldom.ParseBytes and stores
-// it like CommitXML. When the previous version of the page came through
-// this path and the bytes are identical, the unchanged result is
-// returned without parsing at all — the crawler's refetch of a page that
-// did not change costs one signature.
+// it like CommitXML, after running the refetch through a two-tier
+// unchanged cascade:
+//
+//	tier 1 — raw signature: byte-identical to the stored version's bytes;
+//	         resolved by one SHA-256, no tokenize.
+//	tier 2 — structural hash: byte-different but structurally identical
+//	         (whitespace reflow, re-quoted attributes, re-encoded
+//	         entities); resolved by one streaming tokenize+hash pass
+//	         (xmldom.StreamHasher), no DOM build, no diff.
+//
+// Only when both tiers miss does the commit pay ParseBytes — and then the
+// streaming pass's top-level hash frontier is carried into the diff as a
+// precomputed agreement mask, trimming the aligner to the region that
+// actually changed.
 func (s *Store) CommitXMLBytes(url, dtd, domain string, data []byte) (*CommitResult, error) {
 	rawSig := Signature(data)
 	now := s.clock()
 	s.mu.Lock()
-	if e, ok := s.pages[url]; ok && e.rawOK && e.rawSig == rawSig {
+	e, tracked := s.pages[url]
+	if tracked && !s.alwaysDiff && e.rawOK && e.rawSig == rawSig {
 		e.Meta.LastAccessed = now
 		res := &CommitResult{Status: StatusUnchanged, Meta: e.Meta, Old: e.Doc, Doc: e.Doc}
 		s.mu.Unlock()
+		s.statRawSig.Add(1)
 		return res, nil
 	}
+	probe := tracked && !s.alwaysDiff && e.structOK
 	s.mu.Unlock()
+
+	// Tier 2: hash the bytes without building a DOM. The stream hash is a
+	// pure function of data, so it is computed outside the lock; the
+	// comparison — and the pairing of result metadata with the version
+	// that matched — happens inside one critical section, mirroring the
+	// rawSig discipline above.
+	var topHashes []uint64
+	if probe {
+		sh := streamHasherPool.Get().(*xmldom.StreamHasher)
+		root, frontier, err := sh.Sum(data, 1)
+		if err == nil {
+			s.mu.Lock()
+			if e, ok := s.pages[url]; ok && !s.alwaysDiff && e.structOK && e.structHash == root {
+				e.Meta.LastAccessed = now
+				// Refresh tier 1 for this serialization: the next refetch
+				// of these exact bytes is one SHA-256 again.
+				e.rawSig, e.rawOK = rawSig, true
+				res := &CommitResult{Status: StatusUnchanged, Meta: e.Meta, Old: e.Doc, Doc: e.Doc}
+				s.mu.Unlock()
+				streamHasherPool.Put(sh)
+				s.statStructHash.Add(1)
+				return res, nil
+			}
+			s.mu.Unlock()
+			// The root differs: keep the depth-1 frontier. commitXML turns
+			// it into a diff mask against the stored version under the
+			// commit lock.
+			for _, f := range frontier {
+				if f.Depth == 1 {
+					topHashes = append(topHashes, f.Hash)
+				}
+			}
+		}
+		// On a stream error, fall through: ParseBytes reports the
+		// authoritative parse error for these bytes.
+		streamHasherPool.Put(sh)
+	}
+
 	doc, err := xmldom.ParseBytes(data)
 	if err != nil {
 		return nil, fmt.Errorf("warehouse: %s: %w", url, err)
 	}
-	return s.commitXML(url, dtd, domain, doc, &rawSig)
+	s.statParsed.Add(1)
+	return s.commitXML(url, dtd, domain, doc, &rawSig, topHashes)
+}
+
+// topMask builds the top-level agreement mask for the diff: the longest
+// common prefix and suffix of the stored version's root-children subtree
+// hashes against the streaming frontier of the incoming bytes. DiffMasked
+// re-verifies the claimed runs against its own hash vectors, so a
+// frontier that raced with a superseding commit costs a fallback to the
+// plain aligner, never a wrong delta.
+func topMask(old *xmldom.Document, topHashes []uint64) *xydiff.Mask {
+	oc := old.Root.Children
+	n := len(oc)
+	if len(topHashes) < n {
+		n = len(topHashes)
+	}
+	oh := old.Hashes()
+	pre := 0
+	for pre < n && oh.Of(oc[pre]) == topHashes[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < n-pre && oh.Of(oc[len(oc)-1-suf]) == topHashes[len(topHashes)-1-suf] {
+		suf++
+	}
+	if pre == 0 && suf == 0 {
+		return nil
+	}
+	return &xydiff.Mask{Prefix: pre, Suffix: suf}
 }
 
 // commitXML is the shared commit body. rawSig, when non-nil, is the
 // signature of the serialized bytes doc was parsed from; it is recorded
 // on the entry inside the same critical section as the commit, so the
 // fast path can never pair a stale byte signature with a newer document.
-func (s *Store) commitXML(url, dtd, domain string, doc *xmldom.Document, rawSig *[sha256.Size]byte) (*CommitResult, error) {
+// topHashes, when non-empty, is the depth-1 streaming hash frontier of
+// those bytes, turned into a diff mask against the stored version.
+func (s *Store) commitXML(url, dtd, domain string, doc *xmldom.Document, rawSig *[sha256.Size]byte, topHashes []uint64) (*CommitResult, error) {
 	if doc == nil || doc.Root == nil {
 		return nil, errors.New("warehouse: empty document")
 	}
@@ -249,8 +386,9 @@ func (s *Store) commitXML(url, dtd, domain string, doc *xmldom.Document, rawSig 
 		s.pages[url] = e
 		s.indexDomainLocked(domain, url)
 		// Prime the structural hash vector under the commit lock: the next
-		// version's Diff then hashes only its own tree.
-		doc.Hashes()
+		// version's Diff then hashes only its own tree — and its root hash
+		// becomes the tier-2 reference for the next refetch.
+		e.structHash, e.structOK = doc.Hashes().Of(doc.Root), true
 		return &CommitResult{Status: StatusNew, Meta: meta, Doc: doc}, nil
 	}
 	e.Meta.LastAccessed = now
@@ -258,14 +396,19 @@ func (s *Store) commitXML(url, dtd, domain string, doc *xmldom.Document, rawSig 
 		return &CommitResult{Status: StatusUnchanged, Meta: e.Meta, Old: e.Doc, Doc: e.Doc}, nil
 	}
 	old := e.Doc
-	delta, err := xydiff.Diff(old, doc)
+	var mask *xydiff.Mask
+	if len(topHashes) > 0 && old != nil && old.Root != nil {
+		mask = topMask(old, topHashes)
+	}
+	s.statDiffed.Add(1)
+	delta, err := xydiff.DiffMasked(old, doc, mask)
 	if err != nil {
 		// Unrelated root: treat as a wholesale replacement. The old
 		// version chain ends; a fresh one starts.
 		e.Doc = doc
 		e.Base = doc.Clone()
 		e.Deltas = nil
-		doc.Hashes()
+		e.structHash, e.structOK = doc.Hashes().Of(doc.Root), true
 		old.InvalidateHashes()
 		e.Meta.Signature = sig
 		e.Meta.LastUpdate = now
@@ -276,6 +419,7 @@ func (s *Store) commitXML(url, dtd, domain string, doc *xmldom.Document, rawSig 
 	e.Deltas = append(e.Deltas, delta)
 	// doc's vector was computed (and cached) by Diff; the superseded
 	// version's vector is recycled — no later Diff can involve it.
+	e.structHash, e.structOK = doc.Hashes().Of(doc.Root), true
 	old.InvalidateHashes()
 	e.Meta.Signature = sig
 	e.Meta.LastUpdate = now

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync"
 
 	"xymon/internal/xmldom"
 )
@@ -53,13 +54,54 @@ type SiteSpec struct {
 	// dial in the fraction of pages that match a subscription.
 	RareWord  string
 	RareEvery int
+	// PerturbEvery, when > 0, slows content evolution: the underlying
+	// catalog advances one content version every PerturbEvery fetch
+	// versions, and the intervening fetches re-serialize the SAME content
+	// with a semantics-preserving perturbation drawn from a seeded
+	// *rand.Rand (see PerturbKind). Successive refetches are then
+	// byte-different but semantically identical — the corpus the
+	// warehouse's streaming structural-hash tier is measured on.
+	PerturbEvery int
+	PerturbKind  PerturbKind
 }
+
+// PerturbKind selects the semantics-preserving serialization perturbation
+// applied to the refetches between content versions (PerturbEvery).
+type PerturbKind int
+
+const (
+	// PerturbWhitespace reflows inter-element whitespace, pads text with
+	// trimmable space, and re-quotes attributes. Structurally identical
+	// under xmldom's hashing, so these refetches resolve at the
+	// warehouse's structural-hash tier without a parse.
+	PerturbWhitespace PerturbKind = iota
+	// PerturbAttrOrder renders the product category as an attribute and
+	// shuffles per-product attribute order on top of the whitespace
+	// reflow. XML semantics say attribute order is insignificant, but
+	// xmldom hashes attributes in document order, so these refetches fall
+	// through to the parse+diff tier — with the streaming frontier
+	// masking the diff to the products whose order actually flipped.
+	PerturbAttrOrder
+)
 
 // Site is a deterministic synthetic web site: Fetch(url, version) always
 // returns the same content for the same (url, version) pair, so crawls are
 // reproducible and change detection sees realistic evolving documents.
 type Site struct {
 	spec SiteSpec
+
+	// Per-page memo of the last computed product list. Content is a pure
+	// function of (url, version), and monitoring benches refetch the same
+	// content version many times over (PerturbEvery); without the memo,
+	// every refetch would replay the churn history and re-seed its
+	// generator, billing page synthesis to the system under test.
+	mu    sync.Mutex
+	items map[string]cachedItems
+}
+
+type cachedItems struct {
+	version int
+	items   []product
 }
 
 // NewSite builds a site from its spec, applying defaults for zero fields.
@@ -151,6 +193,39 @@ func (s *Site) pageSeed(url string) int64 {
 	return s.spec.Seed ^ int64(xmldom.HashString(url))
 }
 
+// cachedCatalogItems returns catalogItems(url, version) through the
+// per-page memo. The cached slice is only ever read by renderers;
+// catalogItems always builds a fresh one.
+func (s *Site) cachedCatalogItems(url string, version int) []product {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.items[url]; ok && c.version == version {
+		return c.items
+	}
+	items := s.catalogItems(url, version)
+	if s.items == nil {
+		s.items = make(map[string]cachedItems)
+	}
+	s.items[url] = cachedItems{version: version, items: items}
+	return items
+}
+
+// perturbSource is a splitmix64 rand.Source64 with O(1) seeding.
+// rand.NewSource's lagged-Fibonacci warm-up runs hundreds of steps per
+// seed; a fresh generator per perturbed render would spend more time
+// seeding than rendering.
+type perturbSource struct{ state uint64 }
+
+func (s *perturbSource) Seed(seed int64) { s.state = uint64(seed) }
+func (s *perturbSource) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *perturbSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
 type product struct {
 	id       int
 	name     string
@@ -218,25 +293,135 @@ func (s *Site) FetchXML(url string, version int) *xmldom.Document {
 }
 
 // FetchXMLBytes renders catalog page url at the given version straight
-// to serialized bytes — the crawler's zero-copy ingest format. The
-// output is byte-identical to FetchXML(url, version).XML(), so commits
-// through either path produce the same signature.
+// to serialized bytes — the crawler's zero-copy ingest format. For
+// unperturbed fetches the output is byte-identical to
+// FetchXML(url, version).XML(), so commits through either path produce
+// the same signature; perturbed fetches (PerturbEvery) re-serialize the
+// same content in a deliberately different byte form.
 func (s *Site) FetchXMLBytes(url string, version int) []byte {
-	items := s.catalogItems(url, version)
-	b := make([]byte, 0, 64+len(items)*96)
-	b = append(b, `<catalog site="`...)
-	b = xmldom.AppendEscaped(b, s.spec.BaseURL)
-	b = append(b, `">`...)
+	if version < 1 {
+		version = 1
+	}
+	contentV, pidx := version, 0
+	if s.spec.PerturbEvery > 0 {
+		contentV = (version-1)/s.spec.PerturbEvery + 1
+		pidx = (version - 1) % s.spec.PerturbEvery
+	}
+	items := s.cachedCatalogItems(url, contentV)
+	var rng *rand.Rand
+	if pidx > 0 {
+		// Seeded per (page, fetch version): the same refetch always
+		// renders the same bytes, and successive refetches render
+		// different ones.
+		rng = rand.New(&perturbSource{state: uint64(s.pageSeed(url)) ^ uint64(version)*0x9e3779b97f4a7c15})
+	}
+	return s.renderCatalog(items, rng)
+}
+
+// renderCatalog serializes the product list. A nil rng renders the
+// canonical compact form; otherwise it applies the site's PerturbKind:
+// random inter-element whitespace, trimmable text padding, re-quoted
+// attributes — and, for PerturbAttrOrder, shuffled attribute order.
+func (s *Site) renderCatalog(items []product, rng *rand.Rand) []byte {
+	attrCat := s.spec.PerturbEvery > 0 && s.spec.PerturbKind == PerturbAttrOrder
+	// Each perturbation decision needs only a bit or two; drawing 64 bits
+	// at a time from the source is much cheaper than an Intn call per
+	// decision, which dominates the render cost otherwise.
+	var bits uint64
+	var nbits uint
+	draw := func(n uint) uint64 {
+		if nbits < n {
+			bits = rng.Uint64()
+			nbits = 64
+		}
+		v := bits & (1<<n - 1)
+		bits >>= n
+		nbits -= n
+		return v
+	}
+	ws := func(b []byte) []byte {
+		if rng == nil {
+			return b
+		}
+		switch draw(2) {
+		case 1:
+			b = append(b, '\n')
+		case 2:
+			b = append(b, "\n  "...)
+		case 3:
+			b = append(b, "\n\t"...)
+		}
+		return b
+	}
+	quote := func() byte {
+		if rng != nil && draw(1) == 1 {
+			return '\''
+		}
+		return '"'
+	}
+	attr := func(b []byte, name, value string) []byte {
+		q := quote()
+		b = append(b, ' ')
+		b = append(b, name...)
+		b = append(b, '=', q)
+		b = xmldom.AppendEscaped(b, value)
+		b = append(b, q)
+		return b
+	}
+	text := func(b []byte, v string) []byte {
+		if rng != nil && draw(2) == 0 {
+			b = append(b, ' ')
+			b = xmldom.AppendEscaped(b, v)
+			b = append(b, ' ')
+			return b
+		}
+		return xmldom.AppendEscaped(b, v)
+	}
+	per := 112
+	if rng != nil {
+		// Whitespace reflow and text padding can add a few dozen bytes
+		// per product; size for it so the builder never regrows.
+		per = 160
+	}
+	b := make([]byte, 0, 64+len(items)*per)
+	b = append(b, `<catalog`...)
+	b = attr(b, "site", s.spec.BaseURL)
+	b = append(b, '>')
+	if rng != nil {
+		// At least one reflow, so a perturbed render is never
+		// byte-identical to the canonical one.
+		b = append(b, '\n')
+	}
 	for _, it := range items {
-		b = append(b, `<product id="p`...)
-		b = strconv.AppendInt(b, int64(it.id), 10)
-		b = append(b, `"><name>`...)
-		b = xmldom.AppendEscaped(b, it.name)
-		b = append(b, `</name><category>`...)
-		b = xmldom.AppendEscaped(b, it.category)
-		b = append(b, `</category><price>`...)
+		b = append(b, `<product`...)
+		id := "p" + strconv.Itoa(it.id)
+		if attrCat && rng != nil && draw(1) == 1 {
+			b = attr(b, "cat", it.category)
+			b = attr(b, "id", id)
+		} else {
+			b = attr(b, "id", id)
+			if attrCat {
+				b = attr(b, "cat", it.category)
+			}
+		}
+		b = append(b, '>')
+		b = ws(b)
+		b = append(b, `<name>`...)
+		b = text(b, it.name)
+		b = append(b, `</name>`...)
+		b = ws(b)
+		if !attrCat {
+			b = append(b, `<category>`...)
+			b = text(b, it.category)
+			b = append(b, `</category>`...)
+			b = ws(b)
+		}
+		b = append(b, `<price>`...)
 		b = strconv.AppendInt(b, int64(it.price), 10)
-		b = append(b, `</price></product>`...)
+		b = append(b, `</price>`...)
+		b = ws(b)
+		b = append(b, `</product>`...)
+		b = ws(b)
 	}
 	b = append(b, `</catalog>`...)
 	return b

@@ -14,6 +14,20 @@ var (
 	escFFFD = []byte("�")
 )
 
+// escPlain marks ASCII bytes that pass through AppendEscaped verbatim:
+// printable ASCII minus the five characters with escape sequences. Tab,
+// newline, and CR are excluded — they escape to character references.
+var escPlain [256]bool
+
+func init() {
+	for c := 0x20; c <= 0x7E; c++ {
+		escPlain[c] = true
+	}
+	for _, c := range []byte{'"', '\'', '&', '<', '>'} {
+		escPlain[c] = false
+	}
+}
+
 // AppendEscaped appends s to dst with XML escaping, byte-identical to
 // the escaping WriteXML applies to text and attribute values. Generators
 // that render documents straight to bytes (webgen's byte-first fetch
@@ -23,6 +37,10 @@ var (
 func AppendEscaped(dst []byte, s string) []byte {
 	last := 0
 	for i := 0; i < len(s); {
+		if escPlain[s[i]] {
+			i++
+			continue
+		}
 		r, width := utf8.DecodeRuneInString(s[i:])
 		i += width
 		var esc []byte

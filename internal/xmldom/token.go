@@ -63,6 +63,23 @@ const (
 // span is a half-open byte range into the tokenizer's input buffer.
 type span struct{ lo, hi int }
 
+// plainText marks the bytes scanText can bulk-skip: printable ASCII plus
+// tab and newline, excluding everything its state machine inspects — the
+// terminators ('<', the quote bytes), '&' (entities), ']' and '>' (the
+// ]]> tracker), and anything that needs validation (controls, '\r',
+// multi-byte lead bytes).
+var plainText [256]bool
+
+func init() {
+	for c := 0x20; c < utf8.RuneSelf; c++ {
+		plainText[c] = true
+	}
+	plainText['\t'], plainText['\n'] = true, true
+	for _, c := range []byte{'<', '&', '"', '\'', ']', '>'} {
+		plainText[c] = false
+	}
+}
+
 // textFlags records what a raw text span needs before it can be consumed.
 type textFlags uint8
 
@@ -466,8 +483,11 @@ func (z *Tokenizer) rawNext() (TokKind, bool) {
 }
 
 // rawName scans an XML name at the cursor: ASCII name bytes and all
-// multi-byte runes are absorbed, then the whole name is validated
-// against the Appendix B tables. ok=false with z.err unset means "no
+// multi-byte runes are absorbed, then the name is validated against the
+// Appendix B tables. A name of pure ASCII name bytes — the overwhelming
+// case — validates with a single start-byte check: the scanned bytes are
+// exactly the ASCII subset of nameFirst ∪ nameRest, so only the
+// first-byte rule can still fail. ok=false with z.err unset means "no
 // name here"; callers convert that into their own context error.
 func (z *Tokenizer) rawName() (span, bool) {
 	lo := z.pos
@@ -479,17 +499,31 @@ func (z *Tokenizer) rawName() (span, bool) {
 		z.ungetc()
 		return span{}, false
 	}
-	for {
-		if b, ok = z.getc(); !ok {
-			z.syntax("unexpected EOF")
-			return span{}, false
+	ascii := b < utf8.RuneSelf
+	for z.pos < len(z.buf) {
+		b = z.buf[z.pos]
+		if b < utf8.RuneSelf {
+			if !isNameByte(b) {
+				break
+			}
+		} else {
+			ascii = false
 		}
-		if b < utf8.RuneSelf && !isNameByte(b) {
-			z.ungetc()
-			break
-		}
+		z.pos++
+	}
+	if z.pos == len(z.buf) {
+		// A name cannot end the document: something must close the tag.
+		z.syntax("unexpected EOF")
+		return span{}, false
 	}
 	s := span{lo, z.pos}
+	if ascii {
+		if !isNameStartByte(z.buf[lo]) {
+			z.syntax("invalid XML name: " + string(z.bytes(s)))
+			return span{}, false
+		}
+		return s, true
+	}
 	if !isName(z.bytes(s)) {
 		z.syntax("invalid XML name: " + string(z.bytes(s)))
 		return span{}, false
@@ -506,16 +540,14 @@ func (z *Tokenizer) nsName() (raw, local span, ok bool) {
 		return raw, raw, false
 	}
 	b := z.bytes(raw)
-	colons := 0
-	for _, c := range b {
-		if c == ':' {
-			colons++
-		}
+	i := bytes.IndexByte(b, ':')
+	if i < 0 {
+		return raw, raw, true
 	}
-	if colons > 1 {
+	if bytes.IndexByte(b[i+1:], ':') >= 0 {
 		return raw, raw, false
 	}
-	if i := bytes.IndexByte(b, ':'); i > 0 && i < len(b)-1 {
+	if i > 0 && i < len(b)-1 {
 		return raw, span{raw.lo + i + 1, raw.hi}, true
 	}
 	return raw, raw, true
@@ -536,6 +568,22 @@ func (z *Tokenizer) scanText(quote int, cdata bool) (span, textFlags, bool) {
 	trunc := 0
 Input:
 	for {
+		// Bulk-skip runs of plain printable ASCII — no terminator, no
+		// entity, no ']' or '\r' or control or multi-byte candidates. Such
+		// bytes need no validation and cannot interact with the ]]> / CR
+		// state machine, so only the run's last two bytes matter to it.
+		if lo := z.pos; lo < len(z.buf) && plainText[z.buf[lo]] {
+			p := lo + 1
+			for p < len(z.buf) && plainText[z.buf[p]] {
+				p++
+			}
+			z.pos = p
+			if p-lo >= 2 {
+				b0, b1 = z.buf[p-2], z.buf[p-1]
+			} else {
+				b0, b1 = b1, z.buf[p-1]
+			}
+		}
 		b, ok := z.getc()
 		if !ok {
 			if cdata {

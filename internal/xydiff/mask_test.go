@@ -1,0 +1,146 @@
+package xydiff
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xymon/internal/xmldom"
+)
+
+// trueMask computes the genuine top-level agreement of two documents the
+// way the warehouse would from its stored hash vector and the streaming
+// frontier: longest common prefix and suffix of root-children subtree
+// hashes, non-overlapping.
+func trueMask(old, new *xmldom.Document) Mask {
+	oh, nh := old.Hashes(), new.Hashes()
+	oc, nc := old.Root.Children, new.Root.Children
+	n := len(oc)
+	if len(nc) < n {
+		n = len(nc)
+	}
+	pre := 0
+	for pre < n && oh.Of(oc[pre]) == nh.Of(nc[pre]) {
+		pre++
+	}
+	suf := 0
+	for suf < n-pre && oh.Of(oc[len(oc)-1-suf]) == nh.Of(nc[len(nc)-1-suf]) {
+		suf++
+	}
+	return Mask{Prefix: pre, Suffix: suf}
+}
+
+// diffMaskedAgainstPlain diffs old→new plain and with the given mask on
+// fresh clones and demands identical reconstruction and XID labeling.
+func diffMaskedAgainstPlain(t *testing.T, old, new *xmldom.Document, m Mask) bool {
+	t.Helper()
+	run := func(mask *Mask) (*xmldom.Document, bool) {
+		o := old.Clone()
+		n := new.Clone()
+		n.Root.PreOrder(func(nd *xmldom.Node) bool { nd.XID = 0; return true })
+		var delta *Delta
+		var err error
+		if mask == nil {
+			delta, err = Diff(o, n)
+		} else {
+			delta, err = DiffMasked(o, n, mask)
+		}
+		if err != nil {
+			t.Logf("diff (mask %+v): %v", mask, err)
+			return nil, false
+		}
+		rebuilt, err := Apply(o, delta)
+		if err != nil {
+			t.Logf("apply (mask %+v): %v\nold %s\nnew %s", mask, err, old.XML(), new.XML())
+			return nil, false
+		}
+		if rebuilt.XML() != n.XML() {
+			t.Logf("reconstruction mismatch (mask %+v)\n got %s\nwant %s", mask, rebuilt.XML(), n.XML())
+			return nil, false
+		}
+		return n, true
+	}
+	plain, ok := run(nil)
+	if !ok {
+		return false
+	}
+	masked, ok := run(&m)
+	if !ok {
+		return false
+	}
+	var want, got []xmldom.XID
+	plain.Root.PreOrder(func(nd *xmldom.Node) bool { want = append(want, nd.XID); return true })
+	masked.Root.PreOrder(func(nd *xmldom.Node) bool { got = append(got, nd.XID); return true })
+	if len(got) != len(want) {
+		t.Logf("XID count mismatch under mask %+v: %d vs %d", m, len(got), len(want))
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Logf("XID[%d] = %d, want %d under mask %+v\nold %s\nnew %s",
+				i, got[i], want[i], m, old.XML(), new.XML())
+			return false
+		}
+	}
+	return true
+}
+
+// Property: with the genuine agreement mask, DiffMasked is exactly Diff —
+// same reconstruction, same identity assignment.
+func TestQuickMaskedMatchesPlain(t *testing.T) {
+	f := func(a, b []byte) bool {
+		old := buildDoc(a)
+		new := buildDoc(b)
+		return diffMaskedAgainstPlain(t, old, new, trueMask(old, new))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an arbitrary — possibly garbage — mask never changes the
+// result. Wrong claims are caught by the hash re-verification and fall
+// back to the plain aligner; a bad mask may cost speed, never correctness.
+func TestQuickGarbageMaskHarmless(t *testing.T) {
+	f := func(a, b []byte, pre, suf int8) bool {
+		old := buildDoc(a)
+		new := buildDoc(b)
+		m := Mask{Prefix: int(pre), Suffix: int(suf)}
+		return diffMaskedAgainstPlain(t, old, new, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskedHandPicked(t *testing.T) {
+	old := xmldom.MustParse(`<c><p>a</p><p>b</p><p>c</p><p>d</p><p>e</p></c>`)
+	new := xmldom.MustParse(`<c><p>a</p><p>b</p><p>X</p><p>d</p><p>e</p></c>`)
+	cases := []Mask{
+		trueMask(old, new),      // {2,2}
+		{Prefix: 1, Suffix: 1},  // under-claims: still exact
+		{Prefix: 3, Suffix: 0},  // over-claims prefix: verification rejects
+		{Prefix: 0, Suffix: 3},  // over-claims suffix: verification rejects
+		{Prefix: 5, Suffix: 5},  // out of range
+		{Prefix: -1, Suffix: 2}, // negative
+		{Prefix: 0, Suffix: 0},  // vacuous
+	}
+	if got := trueMask(old, new); got.Prefix != 2 || got.Suffix != 2 {
+		t.Fatalf("trueMask = %+v, want {2 2}", got)
+	}
+	for _, m := range cases {
+		if !diffMaskedAgainstPlain(t, old, new, m) {
+			t.Errorf("mask %+v diverged from plain diff", m)
+		}
+	}
+	// Pure insertion in the middle: prefix+suffix covers all old children.
+	ins := xmldom.MustParse(`<c><p>a</p><p>b</p><p>q</p><p>c</p><p>d</p><p>e</p></c>`)
+	if !diffMaskedAgainstPlain(t, old, ins, trueMask(old, ins)) {
+		t.Error("insertion case diverged")
+	}
+	// Identical documents: full mask, empty middle.
+	same := old.Clone()
+	same.Root.PreOrder(func(nd *xmldom.Node) bool { nd.XID = 0; return true })
+	if !diffMaskedAgainstPlain(t, old, same, trueMask(old, same)) {
+		t.Error("identical case diverged")
+	}
+}

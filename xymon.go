@@ -62,6 +62,14 @@ type (
 	Site = webgen.Site
 	// SiteSpec configures a synthetic site.
 	SiteSpec = webgen.SiteSpec
+	// PerturbKind selects a SiteSpec's refetch perturbation.
+	PerturbKind = webgen.PerturbKind
+)
+
+// Re-exported SiteSpec perturbation kinds.
+const (
+	PerturbWhitespace = webgen.PerturbWhitespace
+	PerturbAttrOrder  = webgen.PerturbAttrOrder
 )
 
 // NewSite builds a synthetic site for simulated crawling.
@@ -122,6 +130,12 @@ type Options struct {
 	// nobody could possibly be notified about; benchmarks use this switch
 	// to measure the gate's effect.
 	AlwaysParse bool
+	// AlwaysDiff disables the warehouse's unchanged fast paths (the raw
+	// byte signature and the streaming structural hash), so every
+	// refetched XML page pays the full parse and canonical comparison.
+	// Benchmarks use this switch as the baseline the tiered change
+	// detection is measured against.
+	AlwaysDiff bool
 }
 
 // System is the assembled subscription system.
@@ -155,7 +169,11 @@ func New(opts Options) (*System, error) {
 	for name, tags := range opts.Domains {
 		s.Classifier.AddDomain(name, tags...)
 	}
-	s.Store = warehouse.NewStore(warehouse.WithClock(clock))
+	storeOpts := []warehouse.Option{warehouse.WithClock(clock)}
+	if opts.AlwaysDiff {
+		storeOpts = append(storeOpts, warehouse.WithAlwaysDiff())
+	}
+	s.Store = warehouse.NewStore(storeOpts...)
 
 	// The durability layer: one WAL per stateful module, all consulting
 	// the same fault injector (the hook reports the log's durability
@@ -353,15 +371,19 @@ func (s *System) Unsubscribe(name string) error {
 // (warehouse commit, change detection, alerters, matching, reporting) and
 // returns the number of notifications produced.
 func (s *System) PushXML(url, dtd, domain, content string) (int, error) {
-	doc, err := xmldom.ParseString(content)
-	if err != nil {
-		return 0, err
-	}
+	data := []byte(content)
 	if domain == "" {
 		// The semantic module classifies unlabelled documents (Figure 1).
+		// Classification needs a tree, so an unlabelled push pays a parse
+		// up front; labelled pushes go straight to the byte-level commit
+		// and its unchanged fast paths.
+		doc, err := xmldom.ParseBytes(data)
+		if err != nil {
+			return 0, err
+		}
 		domain, _ = s.Classifier.Classify(doc)
 	}
-	res, err := s.Store.CommitXML(url, dtd, domain, doc)
+	res, err := s.Store.CommitXMLBytes(url, dtd, domain, data)
 	if err != nil {
 		return 0, err
 	}
@@ -403,18 +425,20 @@ func (s *System) Tick() {
 
 // Stats aggregates the counters of every module.
 type Stats struct {
-	Manager manager.Stats
-	Crawler crawler.Stats
-	Matcher core.Stats
-	Pages   int
+	Manager   manager.Stats
+	Crawler   crawler.Stats
+	Matcher   core.Stats
+	Warehouse warehouse.Stats
+	Pages     int
 }
 
 // Stats snapshots the system counters.
 func (s *System) Stats() Stats {
 	return Stats{
-		Manager: s.Manager.Stats(),
-		Crawler: s.Crawler.Stats(),
-		Matcher: s.Matcher.Stats(),
-		Pages:   s.Store.Len(),
+		Manager:   s.Manager.Stats(),
+		Crawler:   s.Crawler.Stats(),
+		Matcher:   s.Matcher.Stats(),
+		Warehouse: s.Store.Stats(),
+		Pages:     s.Store.Len(),
 	}
 }
